@@ -1,0 +1,34 @@
+// Figure 9: subgraph size |Esub| and total (CPU + I/O) time vs. capacity k
+// at the default cardinalities (paper: |Q|=1K, |P|=100K, k in 20..320).
+// One dataset, capacities varied -- exactly the paper's setup.
+//
+// Expected shape: |Esub| is a small fraction of FULL = |Q|*|P|; IDA
+// explores the fewest edges while k*|Q| < |P| and converges to NIA/RIA
+// once capacity is abundant; total times rise with k; IDA <= NIA <= RIA.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const std::size_t np = Scaled(100000);
+  Banner("Figure 9", "|Esub| and time vs capacity k (default cardinalities)",
+         "|Esub| << FULL; IDA smallest subgraph for k*|Q| < |P|; IDA fastest");
+  std::printf("|Q|=%zu |P|=%zu FULL=%zu edges\n\n", nq, np, nq * np);
+  ExactHeader();
+
+  Workload w = BuildWorkload(nq, np, 80, 9001);
+  const ExactConfig config = DefaultExactConfig(np);
+  for (const int k : {20, 40, 80, 160, 320}) {
+    SetCapacities(&w, FixedCapacities(nq, k));
+    const std::string setting = "k=" + std::to_string(k);
+    ExactRow(setting, "RIA",
+             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), config); }));
+    ExactRow(setting, "NIA",
+             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), config); }));
+    ExactRow(setting, "IDA",
+             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), config); }));
+  }
+  return 0;
+}

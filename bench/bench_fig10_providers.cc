@@ -1,0 +1,31 @@
+// Figure 10: performance vs. provider cardinality |Q| (paper: 0.25K..5K,
+// k=80, |P|=100K).
+//
+// Expected shape: cost grows with |Q| but saturates once k*|Q| > |P|; IDA
+// prunes the most while capacity is scarce (k*|Q| < |P|).
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t np = Scaled(100000);
+  const int k = 80;
+  Banner("Figure 10", "|Esub| and time vs provider cardinality |Q| (k=80)",
+         "cost grows with |Q|, saturates once k*|Q| > |P|; IDA smallest subgraph early");
+  std::printf("|P|=%zu k=%d\n\n", np, k);
+  ExactHeader();
+
+  for (const std::size_t paper_nq : {250u, 500u, 1000u, 2500u, 5000u}) {
+    const std::size_t nq = Scaled(paper_nq);
+    Workload w = BuildWorkload(nq, np, k, 10000 + paper_nq);
+    const std::string setting = "|Q|=" + std::to_string(nq);
+    ExactRow(setting, "RIA",
+             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(setting, "NIA",
+             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(setting, "IDA",
+             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 11: performance vs. customer cardinality |P| (paper: 25K..200K,
+// k=80, |Q|=1K).
+//
+// Expected shape: the complete graph grows with |P| but the explored
+// subgraph *shrinks* (denser customers => closer NNs => easier problem),
+// modulo an R-tree height step at the top end.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const int k = 80;
+  Banner("Figure 11", "|Esub| and time vs customer cardinality |P| (k=80)",
+         "explored subgraph shrinks as |P| grows; IDA's lead widens");
+  std::printf("|Q|=%zu k=%d\n\n", nq, k);
+  ExactHeader();
+
+  for (const std::size_t paper_np : {25000u, 50000u, 100000u, 150000u, 200000u}) {
+    const std::size_t np = Scaled(paper_np);
+    Workload w = BuildWorkload(nq, np, k, 11000 + paper_np / 1000);
+    const std::string setting = "|P|=" + std::to_string(np);
+    ExactRow(setting, "RIA",
+             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(setting, "NIA",
+             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(setting, "IDA",
+             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 13: the four Q-vs-P distribution combinations, U(niform) and
+// C(lustered), at the default setting (paper: k=80, |Q|=1K, |P|=100K).
+//
+// Expected shape: differently-distributed Q and P (UvsC, CvsU) are much
+// harder than same-distribution inputs; NIA can lose its edge over RIA
+// there (batch range insertion beats one-at-a-time NN retrieval).
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const std::size_t np = Scaled(100000);
+  const int k = 80;
+  Banner("Figure 13", "performance across distribution combinations (Q vs P)",
+         "UvsC and CvsU are far harder than UvsU / CvsC");
+  std::printf("|Q|=%zu |P|=%zu k=%d\n\n", nq, np, k);
+  ExactHeader();
+
+  const struct {
+    const char* label;
+    PointDistribution q;
+    PointDistribution p;
+  } combos[] = {
+      {"UvsU", PointDistribution::kUniform, PointDistribution::kUniform},
+      {"UvsC", PointDistribution::kUniform, PointDistribution::kClustered},
+      {"CvsU", PointDistribution::kClustered, PointDistribution::kUniform},
+      {"CvsC", PointDistribution::kClustered, PointDistribution::kClustered},
+  };
+  std::uint64_t seed = 13000;
+  for (const auto& combo : combos) {
+    Workload w = BuildWorkload(nq, np, combo.q, combo.p, FixedCapacities(nq, k), ++seed);
+    ExactRow(combo.label, "RIA",
+             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(combo.label, "NIA",
+             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    ExactRow(combo.label, "IDA",
+             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 14: approximation quality and running time vs. the group-diagonal
+// parameter delta (paper: delta in 10..160, defaults k=80, |Q|=1K,
+// |P|=100K). Variants: SA / CA, each with NN ("N") and exclusive-NN ("E")
+// refinement, against exact IDA.
+//
+// Expected shape: quality error and cost both drop as delta shrinks; CA
+// dominates SA except at tiny delta where SA approaches IDA's cost; CA at
+// delta=10 is near-optimal and far cheaper than IDA.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const std::size_t np = Scaled(100000);
+  const int k = 80;
+  Banner("Figure 14", "approximation quality & time vs delta",
+         "quality ratio and cost drop with delta; CA beats SA except tiny delta");
+  std::printf("|Q|=%zu |P|=%zu k=%d\n\n", nq, np, k);
+
+  Workload w = BuildWorkload(nq, np, k, 14001);
+  const ExactResult ida =
+      ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); });
+  const double optimal = ida.matching.cost();
+  std::printf("IDA reference: cost=%.0f cpu=%.2fs io=%.2fs total=%.2fs\n\n", optimal,
+              ida.metrics.cpu_millis / 1000.0, ida.metrics.io_millis() / 1000.0,
+              ida.metrics.total_millis() / 1000.0);
+  ApproxHeader();
+
+  for (const double delta : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const std::string setting = "d=" + std::to_string(static_cast<int>(delta));
+    for (const auto& [label, refine] :
+         {std::pair{"SAN", RefineMode::kNearestNeighbor},
+          std::pair{"SAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = delta;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveSa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    for (const auto& [label, refine] :
+         {std::pair{"CAN", RefineMode::kNearestNeighbor},
+          std::pair{"CAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = delta;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveCa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 15: approximation quality and time vs. capacity k (paper:
+// delta_SA=40, delta_CA=10, |Q|=1K, |P|=100K).
+//
+// Expected shape: quality ratios improve (approach 1) as k grows; CA is
+// more robust than SA; approximate times track IDA's but several times
+// smaller.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const std::size_t np = Scaled(100000);
+  Banner("Figure 15", "approximation quality & time vs capacity k",
+         "quality improves with k; CA more robust than SA");
+  std::printf("|Q|=%zu |P|=%zu delta: SA=40 CA=10\n\n", nq, np);
+  ApproxHeader();
+
+  Workload w = BuildWorkload(nq, np, 80, 15001);
+  for (const int k : {20, 40, 80, 160, 320}) {
+    SetCapacities(&w, FixedCapacities(nq, k));
+    const ExactResult ida =
+        ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); });
+    const double optimal = ida.matching.cost();
+    const std::string setting = "k=" + std::to_string(k);
+
+    for (const auto& [label, refine] :
+         {std::pair{"SAN", RefineMode::kNearestNeighbor},
+          std::pair{"SAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 40.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveSa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    for (const auto& [label, refine] :
+         {std::pair{"CAN", RefineMode::kNearestNeighbor},
+          std::pair{"CAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 10.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveCa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    std::printf("%-10s %-6s %10.4f %10.2f %10.2f %10.2f\n", setting.c_str(), "IDA", 1.0,
+                ida.metrics.cpu_millis / 1000.0, ida.metrics.io_millis() / 1000.0,
+                ida.metrics.total_millis() / 1000.0);
+  }
+  return 0;
+}

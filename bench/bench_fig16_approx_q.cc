@@ -1,0 +1,50 @@
+// Figure 16: approximation quality and time vs. provider cardinality |Q|
+// (paper: 0.25K..5K, k=80, |P|=100K; delta_SA=40, delta_CA=10).
+//
+// Expected shape: CA stays more accurate than SA; CA's quality slowly
+// degrades with |Q| (more providers near a customer group = more chances
+// of suboptimal pairs); SA is non-monotone in |Q| (group density effect).
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t np = Scaled(100000);
+  const int k = 80;
+  Banner("Figure 16", "approximation quality & time vs |Q|",
+         "CA more accurate; CA quality degrades mildly with |Q|");
+  std::printf("|P|=%zu k=%d delta: SA=40 CA=10\n\n", np, k);
+  ApproxHeader();
+
+  for (const std::size_t paper_nq : {250u, 500u, 1000u, 2500u, 5000u}) {
+    const std::size_t nq = Scaled(paper_nq);
+    Workload w = BuildWorkload(nq, np, k, 16000 + paper_nq);
+    const ExactResult ida =
+        ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); });
+    const double optimal = ida.matching.cost();
+    const std::string setting = "|Q|=" + std::to_string(nq);
+
+    for (const auto& [label, refine] :
+         {std::pair{"SAN", RefineMode::kNearestNeighbor},
+          std::pair{"SAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 40.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveSa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    for (const auto& [label, refine] :
+         {std::pair{"CAN", RefineMode::kNearestNeighbor},
+          std::pair{"CAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 10.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveCa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+  }
+  return 0;
+}

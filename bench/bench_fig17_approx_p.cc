@@ -1,0 +1,50 @@
+// Figure 17: approximation quality and time vs. customer cardinality |P|
+// (paper: 25K..200K, k=80, |Q|=1K; delta_SA=40, delta_CA=10).
+//
+// Expected shape: SA's accuracy degrades with |P| (denser customers around
+// provider groups = more suboptimal potential); CA is only mildly
+// affected.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const int k = 80;
+  Banner("Figure 17", "approximation quality & time vs |P|",
+         "SA degrades with |P|; CA only slightly");
+  std::printf("|Q|=%zu k=%d delta: SA=40 CA=10\n\n", nq, k);
+  ApproxHeader();
+
+  for (const std::size_t paper_np : {25000u, 50000u, 100000u, 150000u, 200000u}) {
+    const std::size_t np = Scaled(paper_np);
+    Workload w = BuildWorkload(nq, np, k, 17000 + paper_np / 1000);
+    const ExactResult ida =
+        ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); });
+    const double optimal = ida.matching.cost();
+    const std::string setting = "|P|=" + std::to_string(np);
+
+    for (const auto& [label, refine] :
+         {std::pair{"SAN", RefineMode::kNearestNeighbor},
+          std::pair{"SAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 40.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveSa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    for (const auto& [label, refine] :
+         {std::pair{"CAN", RefineMode::kNearestNeighbor},
+          std::pair{"CAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 10.0;
+      config.refine = refine;
+      ApproxRow(setting, label,
+                ColdRun(w.db.get(), [&] { return SolveCa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+  }
+  return 0;
+}

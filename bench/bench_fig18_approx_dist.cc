@@ -1,0 +1,61 @@
+// Figure 18: approximate methods across the four distribution
+// combinations (paper: defaults k=80, |Q|=1K, |P|=100K; delta_SA=40,
+// delta_CA=10).
+//
+// Expected shape: CA is the fastest everywhere and the most accurate when
+// Q and P share a distribution; for differently-distributed inputs both
+// methods end up near-optimal.
+#include "bench_util.h"
+
+int main() {
+  using namespace cca;
+  using namespace cca::bench;
+
+  const std::size_t nq = Scaled(1000);
+  const std::size_t np = Scaled(100000);
+  const int k = 80;
+  Banner("Figure 18", "approximation quality & time across distributions",
+         "CA fastest everywhere; both near-optimal for differing Q/P distributions");
+  std::printf("|Q|=%zu |P|=%zu k=%d delta: SA=40 CA=10\n\n", nq, np, k);
+  ApproxHeader();
+
+  const struct {
+    const char* label;
+    PointDistribution q;
+    PointDistribution p;
+  } combos[] = {
+      {"UvsU", PointDistribution::kUniform, PointDistribution::kUniform},
+      {"UvsC", PointDistribution::kUniform, PointDistribution::kClustered},
+      {"CvsU", PointDistribution::kClustered, PointDistribution::kUniform},
+      {"CvsC", PointDistribution::kClustered, PointDistribution::kClustered},
+  };
+  std::uint64_t seed = 18000;
+  for (const auto& combo : combos) {
+    Workload w = BuildWorkload(nq, np, combo.q, combo.p, FixedCapacities(nq, k), ++seed);
+    const ExactResult ida =
+        ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); });
+    const double optimal = ida.matching.cost();
+
+    for (const auto& [label, refine] :
+         {std::pair{"SAN", RefineMode::kNearestNeighbor},
+          std::pair{"SAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 40.0;
+      config.refine = refine;
+      ApproxRow(combo.label, label,
+                ColdRun(w.db.get(), [&] { return SolveSa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+    for (const auto& [label, refine] :
+         {std::pair{"CAN", RefineMode::kNearestNeighbor},
+          std::pair{"CAE", RefineMode::kExclusiveNearestNeighbor}}) {
+      ApproxConfig config;
+      config.delta = 10.0;
+      config.refine = refine;
+      ApproxRow(combo.label, label,
+                ColdRun(w.db.get(), [&] { return SolveCa(w.problem, w.db.get(), config); }),
+                optimal);
+    }
+  }
+  return 0;
+}

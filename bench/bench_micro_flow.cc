@@ -1,0 +1,62 @@
+// Micro-benchmarks for the flow kernel and solvers (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/exact.h"
+#include "flow/sspa.h"
+#include "gen/generator.h"
+
+namespace {
+
+cca::Problem MakeProblem(std::size_t nq, std::size_t np, std::int32_t k) {
+  static cca::RoadNetwork net = cca::DefaultNetwork(99);
+  cca::DatasetSpec q_spec;
+  q_spec.count = nq;
+  q_spec.seed = 5;
+  cca::DatasetSpec p_spec;
+  p_spec.count = np;
+  p_spec.seed = 6;
+  return cca::MakeProblem(net, q_spec, p_spec, cca::FixedCapacities(nq, k));
+}
+
+void BM_Sspa(benchmark::State& state) {
+  const auto problem =
+      MakeProblem(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)), 10);
+  for (auto _ : state) {
+    const auto result = cca::SolveSspa(problem);
+    benchmark::DoNotOptimize(result.matching.cost());
+  }
+}
+BENCHMARK(BM_Sspa)->Args({10, 200})->Args({20, 500})->Args({50, 1000});
+
+void BM_Ida(benchmark::State& state) {
+  const auto problem =
+      MakeProblem(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)), 10);
+  cca::CustomerDb::Options options;
+  options.buffer_fraction = 2.0;
+  cca::CustomerDb db(problem.customers, options);
+  for (auto _ : state) {
+    const auto result = cca::SolveIda(problem, &db, cca::ExactConfig{});
+    benchmark::DoNotOptimize(result.matching.cost());
+  }
+}
+BENCHMARK(BM_Ida)->Args({10, 200})->Args({20, 500})->Args({50, 1000})->Args({100, 5000});
+
+void BM_Nia(benchmark::State& state) {
+  const auto problem =
+      MakeProblem(static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)), 10);
+  cca::CustomerDb::Options options;
+  options.buffer_fraction = 2.0;
+  cca::CustomerDb db(problem.customers, options);
+  for (auto _ : state) {
+    const auto result = cca::SolveNia(problem, &db, cca::ExactConfig{});
+    benchmark::DoNotOptimize(result.matching.cost());
+  }
+}
+BENCHMARK(BM_Nia)->Args({10, 200})->Args({20, 500})->Args({50, 1000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

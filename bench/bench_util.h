@@ -1,0 +1,148 @@
+// Shared experiment harness for the paper-reproduction benchmarks.
+//
+// Every figure binary builds workloads exactly as Section 5.1 prescribes
+// (road-network data, 1 KB pages, LRU buffer = 1% of the tree, I/O charged
+// at 10 ms per fault) and prints one table per paper figure. Dataset sizes
+// default to 1/10th of the paper's (the capacity-to-cardinality ratios --
+// which determine every crossover -- are preserved); set CCA_BENCH_SCALE=1
+// to run the paper-scale experiments.
+#ifndef CCA_BENCH_BENCH_UTIL_H_
+#define CCA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/approx.h"
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "gen/generator.h"
+
+namespace cca::bench {
+
+// Scale factor relative to the PAPER's dataset sizes. Default 0.05.
+inline double Scale() {
+  if (const char* env = std::getenv("CCA_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 0.05;
+}
+
+// The paper fine-tunes RIA's range increment to theta = 0.8 *for
+// |P| = 100K customers on the [0,1000]^2 world*. theta tracks the customer
+// NN-distance scale, which grows like 1/sqrt(density); scaled-down
+// datasets therefore get a proportionally larger increment.
+inline double DensityScaledTheta(std::size_t np) {
+  return 0.8 * std::sqrt(100000.0 / static_cast<double>(np));
+}
+
+// Default solver configuration for a workload with |P| = np.
+inline ExactConfig DefaultExactConfig(std::size_t np) {
+  ExactConfig config;
+  config.theta = DensityScaledTheta(np);
+  return config;
+}
+
+inline std::size_t Scaled(std::size_t paper_size) {
+  const double s = Scale();
+  return static_cast<std::size_t>(paper_size * s + 0.5);
+}
+
+struct Workload {
+  Problem problem;
+  std::unique_ptr<CustomerDb> db;
+};
+
+inline Workload BuildWorkload(std::size_t nq, std::size_t np, PointDistribution dist_q,
+                              PointDistribution dist_p, const std::vector<std::int32_t>& caps,
+                              std::uint64_t seed) {
+  static RoadNetwork network = DefaultNetwork(42);
+  DatasetSpec q_spec;
+  q_spec.count = nq;
+  q_spec.distribution = dist_q;
+  q_spec.seed = seed * 2 + 1;
+  DatasetSpec p_spec;
+  p_spec.count = np;
+  p_spec.distribution = dist_p;
+  p_spec.seed = seed * 2 + 2;
+  // Both sides live in the same city: clustered providers and clustered
+  // customers concentrate around the same hotspots (see DatasetSpec).
+  q_spec.cluster_seed = p_spec.cluster_seed = seed * 2 + 777;
+  Workload w;
+  w.problem = MakeProblem(network, q_spec, p_spec, caps);
+  CustomerDb::Options options;
+  options.rtree.page_size = 1024;
+  options.buffer_fraction = 0.01;
+  // The paper's absolute buffer at |P|=100K is ~38 pages; keep a floor so
+  // scaled-down trees are not left with a 1-2 page pathological buffer.
+  options.min_buffer_pages = 16;
+  w.db = std::make_unique<CustomerDb>(w.problem.customers, options);
+  return w;
+}
+
+// Swaps the capacity vector of an existing workload in place (capacity
+// sweeps reuse one dataset, exactly like the paper's Figure 9/15 setup).
+inline void SetCapacities(Workload* w, const std::vector<std::int32_t>& caps) {
+  for (std::size_t i = 0; i < w->problem.providers.size(); ++i) {
+    w->problem.providers[i].capacity = caps[i];
+  }
+}
+
+inline Workload BuildWorkload(std::size_t nq, std::size_t np, std::int32_t k,
+                              std::uint64_t seed,
+                              PointDistribution dist_q = PointDistribution::kClustered,
+                              PointDistribution dist_p = PointDistribution::kClustered) {
+  return BuildWorkload(nq, np, dist_q, dist_p,
+                       FixedCapacities(nq, k), seed);
+}
+
+// --- printing ----------------------------------------------------------------
+
+inline void Banner(const std::string& figure, const std::string& description,
+                   const std::string& paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("Paper shape to match: %s\n", paper_shape.c_str());
+  std::printf("Scale: %.3gx of the paper's dataset sizes (CCA_BENCH_SCALE)\n", Scale());
+  std::printf("==============================================================\n");
+}
+
+inline void ExactHeader() {
+  std::printf("%-10s %-6s %12s %10s %10s %10s %10s\n", "setting", "algo", "|Esub|", "cpu_s",
+              "io_s", "total_s", "cost");
+}
+
+inline void ExactRow(const std::string& setting, const char* algo, const ExactResult& r) {
+  std::printf("%-10s %-6s %12llu %10.2f %10.2f %10.2f %10.0f\n", setting.c_str(), algo,
+              static_cast<unsigned long long>(r.metrics.edges_inserted),
+              r.metrics.cpu_millis / 1000.0, r.metrics.io_millis() / 1000.0,
+              r.metrics.total_millis() / 1000.0, r.matching.cost());
+  std::fflush(stdout);
+}
+
+inline void ApproxHeader() {
+  std::printf("%-10s %-6s %10s %10s %10s %10s %8s\n", "setting", "algo", "quality", "cpu_s",
+              "io_s", "total_s", "groups");
+}
+
+inline void ApproxRow(const std::string& setting, const char* algo, const ApproxResult& r,
+                      double optimal_cost) {
+  std::printf("%-10s %-6s %10.4f %10.2f %10.2f %10.2f %8zu\n", setting.c_str(), algo,
+              r.matching.cost() / optimal_cost, r.metrics.cpu_millis / 1000.0,
+              r.metrics.io_millis() / 1000.0, r.metrics.total_millis() / 1000.0, r.num_groups);
+  std::fflush(stdout);
+}
+
+// Cools the buffer before a measured run so every algorithm starts cold.
+template <typename Fn>
+auto ColdRun(CustomerDb* db, Fn&& fn) {
+  db->CoolDown();
+  return fn();
+}
+
+}  // namespace cca::bench
+
+#endif  // CCA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,162 @@
+// Command-line driver: generate a workload, run any solver, print a
+// machine-readable summary. Useful for scripting parameter studies beyond
+// the canned benchmarks.
+//
+// Usage:
+//   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
+//           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
+//           [--seed S] [--no-pua] [--no-ann]
+//
+// Output: one `key=value` line per metric (easy to grep / parse).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/approx.h"
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "flow/sspa.h"
+#include "gen/generator.h"
+
+namespace {
+
+struct Args {
+  std::string solver = "ida";
+  std::size_t nq = 50;
+  std::size_t np = 5000;
+  int k = 80;
+  double delta = 10.0;
+  double theta = 3.6;
+  bool clustered_q = true;
+  bool clustered_p = true;
+  std::uint64_t seed = 1;
+  bool use_pua = true;
+  bool use_ann = true;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--solver") {
+      args->solver = next();
+    } else if (flag == "--nq") {
+      args->nq = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--np") {
+      args->np = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--k") {
+      args->k = std::atoi(next());
+    } else if (flag == "--delta") {
+      args->delta = std::atof(next());
+    } else if (flag == "--theta") {
+      args->theta = std::atof(next());
+    } else if (flag == "--dist-q") {
+      args->clustered_q = std::strcmp(next(), "c") == 0;
+    } else if (flag == "--dist-p") {
+      args->clustered_p = std::strcmp(next(), "c") == 0;
+    } else if (flag == "--seed") {
+      args->seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (flag == "--no-pua") {
+      args->use_pua = false;
+    } else if (flag == "--no-ann") {
+      args->use_ann = false;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cca;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
+                 "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
+                 "               [--seed S] [--no-pua] [--no-ann]\n");
+    return 2;
+  }
+
+  const RoadNetwork network = DefaultNetwork(42);
+  DatasetSpec q_spec;
+  q_spec.count = args.nq;
+  q_spec.distribution =
+      args.clustered_q ? PointDistribution::kClustered : PointDistribution::kUniform;
+  q_spec.seed = args.seed * 2 + 1;
+  DatasetSpec p_spec;
+  p_spec.count = args.np;
+  p_spec.distribution =
+      args.clustered_p ? PointDistribution::kClustered : PointDistribution::kUniform;
+  p_spec.seed = args.seed * 2 + 2;
+  q_spec.cluster_seed = p_spec.cluster_seed = args.seed * 2 + 777;
+  const Problem problem =
+      MakeProblem(network, q_spec, p_spec, FixedCapacities(args.nq, args.k));
+
+  CustomerDb::Options db_options;
+  db_options.min_buffer_pages = 16;
+  CustomerDb db(problem.customers, db_options);
+
+  ExactConfig exact;
+  exact.theta = args.theta;
+  exact.use_pua = args.use_pua;
+  exact.use_ann_grouping = args.use_ann;
+
+  Matching matching;
+  Metrics metrics;
+  if (args.solver == "ida" || args.solver == "nia" || args.solver == "ria" ||
+      args.solver == "greedy") {
+    ExactResult r;
+    if (args.solver == "ida") r = SolveIda(problem, &db, exact);
+    if (args.solver == "nia") r = SolveNia(problem, &db, exact);
+    if (args.solver == "ria") r = SolveRia(problem, &db, exact);
+    if (args.solver == "greedy") r = SolveGreedySm(problem, &db, exact);
+    matching = std::move(r.matching);
+    metrics = r.metrics;
+  } else if (args.solver == "sspa") {
+    SspaResult r = SolveSspa(problem);
+    matching = std::move(r.matching);
+    metrics = r.metrics;
+  } else if (args.solver == "sa" || args.solver == "ca") {
+    ApproxConfig config;
+    config.delta = args.delta;
+    config.exact = exact;
+    ApproxResult r = args.solver == "sa" ? SolveSa(problem, &db, config)
+                                         : SolveCa(problem, &db, config);
+    matching = std::move(r.matching);
+    metrics = r.metrics;
+    std::printf("groups=%zu\n", r.num_groups);
+  } else {
+    std::fprintf(stderr, "unknown solver '%s'\n", args.solver.c_str());
+    return 2;
+  }
+
+  std::string error;
+  const bool valid = ValidateMatching(problem, matching, &error);
+  std::printf("solver=%s\n", args.solver.c_str());
+  std::printf("nq=%zu np=%zu k=%d gamma=%lld\n", args.nq, args.np, args.k,
+              static_cast<long long>(problem.Gamma()));
+  std::printf("cost=%.3f\n", matching.cost());
+  std::printf("assigned=%lld\n", static_cast<long long>(matching.size()));
+  std::printf("valid=%s%s%s\n", valid ? "yes" : "no", valid ? "" : " error=",
+              valid ? "" : error.c_str());
+  std::printf("esub=%llu\n", static_cast<unsigned long long>(metrics.edges_inserted));
+  std::printf("dijkstra_runs=%llu\n", static_cast<unsigned long long>(metrics.dijkstra_runs));
+  std::printf("page_faults=%llu\n", static_cast<unsigned long long>(metrics.page_faults));
+  std::printf("cpu_ms=%.1f\n", metrics.cpu_millis);
+  std::printf("io_ms=%.1f\n", metrics.io_millis());
+  return valid ? 0 : 1;
+}

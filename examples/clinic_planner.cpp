@@ -1,0 +1,72 @@
+// Public clinic planning scenario (paper Section 1: residents assigned to
+// designated clinics with individual capacities).
+//
+// Demonstrates capacity *what-if* analysis: find the clinic whose capacity
+// expansion lowers total travel distance the most. Each scenario is one
+// exact CCA solve, so the incremental solvers make the sweep cheap.
+//
+// Build & run:  ./build/examples/clinic_planner
+#include <cstdio>
+#include <vector>
+
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "gen/generator.h"
+
+int main() {
+  using namespace cca;
+
+  const RoadNetwork network = DefaultNetwork(33);
+  DatasetSpec clinic_spec;
+  clinic_spec.count = 12;
+  clinic_spec.distribution = PointDistribution::kUniform;
+  clinic_spec.seed = 331;
+  DatasetSpec resident_spec;
+  resident_spec.count = 3000;
+  resident_spec.distribution = PointDistribution::kClustered;
+  resident_spec.seed = 332;
+
+  // Heterogeneous capacities: clinics differ in size (total 2640 slots for
+  // 3000 residents, so 360 residents must go unserved).
+  const auto capacities = MixedCapacities(clinic_spec.count, 120, 320, 333);
+  Problem problem = MakeProblem(network, clinic_spec, resident_spec, capacities);
+  CustomerDb db(problem.customers);
+
+  std::printf("clinics: %zu, residents: %zu, total slots: %lld\n", problem.providers.size(),
+              problem.customers.size(), static_cast<long long>(problem.TotalCapacity()));
+
+  const ExactResult base = SolveIda(problem, &db, ExactConfig{});
+  const auto base_loads = base.matching.ProviderLoads(problem.providers.size());
+  std::printf("baseline assignment: served %lld, Psi = %.1f\n\n",
+              static_cast<long long>(base.matching.size()), base.matching.cost());
+  std::printf("%-8s %10s %10s %12s\n", "clinic", "capacity", "assigned", "saturated");
+  for (std::size_t i = 0; i < problem.providers.size(); ++i) {
+    std::printf("C%-7zu %10d %10lld %12s\n", i + 1, problem.providers[i].capacity,
+                static_cast<long long>(base_loads[i]),
+                base_loads[i] == problem.providers[i].capacity ? "yes" : "");
+  }
+
+  // What-if: grant one clinic +80 slots; which expansion helps most?
+  std::printf("\nwhat-if: +80 slots at a single clinic\n");
+  std::printf("%-8s %14s %14s %12s\n", "clinic", "served", "Psi", "mean_dist");
+  double best_gain = -1.0;
+  std::size_t best_clinic = 0;
+  for (std::size_t i = 0; i < problem.providers.size(); ++i) {
+    Problem scenario = problem;
+    scenario.providers[i].capacity += 80;
+    db.CoolDown();
+    const ExactResult r = SolveIda(scenario, &db, ExactConfig{});
+    const double mean = r.matching.cost() / static_cast<double>(r.matching.size());
+    std::printf("C%-7zu %14lld %14.1f %12.3f\n", i + 1,
+                static_cast<long long>(r.matching.size()), r.matching.cost(), mean);
+    // "Gain": newly served residents, tie-broken by mean distance drop.
+    const double gain =
+        static_cast<double>(r.matching.size() - base.matching.size()) * 1e6 - mean;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_clinic = i;
+    }
+  }
+  std::printf("\nrecommendation: expand clinic C%zu\n", best_clinic + 1);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// School districting scenario (paper Section 1: assign children to schools
+// of fixed capacity minimising total travel distance).
+//
+// The district is large, so we use the approximate CA solver and sweep its
+// delta knob to show the accuracy/runtime trade-off against exact IDA,
+// verifying Theorem 4's error bound along the way.
+//
+// Build & run:  ./build/examples/school_districting
+#include <cstdio>
+
+#include "core/approx.h"
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "gen/generator.h"
+
+int main() {
+  using namespace cca;
+
+  // One town: schools sit inside the residential clusters children live in.
+  const RoadNetwork network = DefaultNetwork(21);
+  DatasetSpec school_spec;
+  school_spec.count = 30;
+  school_spec.distribution = PointDistribution::kClustered;
+  school_spec.seed = 211;
+  school_spec.cluster_seed = 5150;
+  DatasetSpec child_spec;
+  child_spec.count = 6000;
+  child_spec.distribution = PointDistribution::kClustered;
+  child_spec.seed = 212;
+  child_spec.cluster_seed = 5150;  // same neighbourhoods
+  const Problem problem =
+      MakeProblem(network, school_spec, child_spec, FixedCapacities(school_spec.count, 220));
+
+  CustomerDb db(problem.customers);
+  std::printf("district: %zu schools x 220 seats, %zu children (gamma = %lld)\n\n",
+              problem.providers.size(), problem.customers.size(),
+              static_cast<long long>(problem.Gamma()));
+
+  // Exact reference.
+  db.CoolDown();
+  const ExactResult exact = SolveIda(problem, &db, ExactConfig{});
+  std::printf("exact IDA:      Psi = %12.1f   cpu %7.0f ms   io %8.0f ms\n",
+              exact.matching.cost(), exact.metrics.cpu_millis, exact.metrics.io_millis());
+
+  // CA at decreasing granularity. Theorem 4: Psi(CA) <= Psi* + gamma*delta.
+  for (const double delta : {5.0, 20.0, 80.0}) {
+    ApproxConfig config;
+    config.delta = delta;
+    config.refine = RefineMode::kNearestNeighbor;
+    db.CoolDown();
+    const ApproxResult ca = SolveCa(problem, &db, config);
+    const double bound = exact.matching.cost() + CaErrorBound(problem.Gamma(), delta);
+    std::printf(
+        "CA delta=%-5.0f  Psi = %12.1f   cpu %7.0f ms   io %8.0f ms   "
+        "quality %.4f   groups %4zu   bound ok: %s\n",
+        delta, ca.matching.cost(), ca.metrics.cpu_millis, ca.metrics.io_millis(),
+        ca.matching.cost() / exact.matching.cost(), ca.num_groups,
+        ca.matching.cost() <= bound + 1e-6 ? "yes" : "NO");
+  }
+
+  // Walking-distance report for the exact assignment.
+  const auto loads = exact.matching.ProviderLoads(problem.providers.size());
+  double worst = 0.0;
+  for (const auto& pair : exact.matching.pairs) worst = std::max(worst, pair.distance);
+  std::printf("\nper-school enrolment (exact): ");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::printf("%lld%s", static_cast<long long>(loads[i]), i + 1 < loads.size() ? " " : "\n");
+  }
+  std::printf("mean walk %.1f, worst walk %.1f (map units)\n",
+              exact.matching.cost() / static_cast<double>(exact.matching.size()), worst);
+  return 0;
+}

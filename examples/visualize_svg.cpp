@@ -1,0 +1,109 @@
+// Renders a CCA instance and its optimal assignment as an SVG file.
+//
+// Produces `cca_assignment.svg` in the working directory: road network in
+// grey, customers coloured by their assigned provider, assignment edges as
+// thin lines, providers as labelled squares sized by capacity. Handy for
+// eyeballing how capacity constraints bend the Voronoi-like regions the
+// paper's Figure 1 illustrates.
+//
+// Build & run:  ./build/examples/visualize_svg [output.svg]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "gen/generator.h"
+
+namespace {
+
+const char* kPalette[] = {"#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4",
+                          "#46f0f0", "#f032e6", "#bcf60c", "#008080", "#9a6324",
+                          "#800000", "#808000", "#000075", "#fabebe", "#e6beff"};
+
+std::string Color(int provider) {
+  return kPalette[static_cast<std::size_t>(provider) %
+                  (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cca;
+  const std::string path = argc > 1 ? argv[1] : "cca_assignment.svg";
+
+  const RoadNetwork network = DefaultNetwork(11);
+  DatasetSpec q_spec;
+  q_spec.count = 9;
+  q_spec.distribution = PointDistribution::kUniform;
+  q_spec.seed = 91;
+  DatasetSpec p_spec;
+  p_spec.count = 700;
+  p_spec.distribution = PointDistribution::kClustered;
+  p_spec.seed = 92;
+  const Problem problem =
+      MakeProblem(network, q_spec, p_spec, MixedCapacities(q_spec.count, 40, 120, 93));
+
+  CustomerDb db(problem.customers);
+  const ExactResult result = SolveIda(problem, &db, ExactConfig{});
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "<svg xmlns='http://www.w3.org/2000/svg' viewBox='-20 -20 1040 1040' "
+               "width='780' height='780'>\n"
+               "<rect x='-20' y='-20' width='1040' height='1040' fill='#fbfbf8'/>\n");
+  // Road network.
+  for (const auto& e : network.edges) {
+    const Point a = network.junctions[static_cast<std::size_t>(e.a)];
+    const Point b = network.junctions[static_cast<std::size_t>(e.b)];
+    std::fprintf(f,
+                 "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' stroke='#d8d8d0' "
+                 "stroke-width='1.2'/>\n",
+                 a.x, a.y, b.x, b.y);
+  }
+  // Assignment edges + customers (coloured by provider).
+  for (const auto& pair : result.matching.pairs) {
+    const Point q = problem.providers[static_cast<std::size_t>(pair.provider)].pos;
+    const Point p = problem.customers[static_cast<std::size_t>(pair.customer)];
+    std::fprintf(f,
+                 "<line x1='%.1f' y1='%.1f' x2='%.1f' y2='%.1f' stroke='%s' "
+                 "stroke-width='0.5' stroke-opacity='0.45'/>\n",
+                 q.x, q.y, p.x, p.y, Color(pair.provider).c_str());
+    std::fprintf(f, "<circle cx='%.1f' cy='%.1f' r='2.2' fill='%s'/>\n", p.x, p.y,
+                 Color(pair.provider).c_str());
+  }
+  // Unassigned customers in grey.
+  const auto loads = result.matching.CustomerLoads(problem.customers.size());
+  for (std::size_t j = 0; j < loads.size(); ++j) {
+    if (loads[j] == 0) {
+      std::fprintf(f, "<circle cx='%.1f' cy='%.1f' r='2.2' fill='#999999'/>\n",
+                   problem.customers[j].x, problem.customers[j].y);
+    }
+  }
+  // Providers: squares scaled by capacity, labelled with load/capacity.
+  const auto q_loads = result.matching.ProviderLoads(problem.providers.size());
+  for (std::size_t i = 0; i < problem.providers.size(); ++i) {
+    const Point q = problem.providers[i].pos;
+    const double side = 8.0 + problem.providers[i].capacity * 0.06;
+    std::fprintf(f,
+                 "<rect x='%.1f' y='%.1f' width='%.1f' height='%.1f' fill='%s' "
+                 "stroke='black' stroke-width='1.5'/>\n",
+                 q.x - side / 2, q.y - side / 2, side, side, Color(static_cast<int>(i)).c_str());
+    std::fprintf(f,
+                 "<text x='%.1f' y='%.1f' font-size='16' font-family='sans-serif' "
+                 "fill='#222'>q%zu %lld/%d</text>\n",
+                 q.x + side / 2 + 3, q.y + 5, i + 1, static_cast<long long>(q_loads[i]),
+                 problem.providers[i].capacity);
+  }
+  std::fprintf(f, "</svg>\n");
+  std::fclose(f);
+
+  std::printf("wrote %s: %zu providers, %zu customers, Psi(M) = %.1f, %lld assigned\n",
+              path.c_str(), problem.providers.size(), problem.customers.size(),
+              result.matching.cost(), static_cast<long long>(result.matching.size()));
+  return 0;
+}

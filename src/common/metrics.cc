@@ -1,0 +1,37 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace cca {
+
+void Metrics::Accumulate(const Metrics& other) {
+  edges_inserted += other.edges_inserted;
+  dijkstra_runs += other.dijkstra_runs;
+  dijkstra_resumes += other.dijkstra_resumes;
+  dijkstra_pops += other.dijkstra_pops;
+  dijkstra_relaxes += other.dijkstra_relaxes;
+  augmentations += other.augmentations;
+  invalid_paths += other.invalid_paths;
+  fast_path_assigns += other.fast_path_assigns;
+  nn_searches += other.nn_searches;
+  range_searches += other.range_searches;
+  node_accesses += other.node_accesses;
+  page_faults += other.page_faults;
+  cpu_millis += other.cpu_millis;
+}
+
+std::string Metrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|Esub|=%llu dijkstra=%llu(+%llu resumed) aug=%llu invalid=%llu "
+                "faults=%llu cpu=%.1fms io=%.1fms",
+                static_cast<unsigned long long>(edges_inserted),
+                static_cast<unsigned long long>(dijkstra_runs),
+                static_cast<unsigned long long>(dijkstra_resumes),
+                static_cast<unsigned long long>(augmentations),
+                static_cast<unsigned long long>(invalid_paths),
+                static_cast<unsigned long long>(page_faults), cpu_millis, io_millis());
+  return std::string(buf);
+}
+
+}  // namespace cca

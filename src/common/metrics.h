@@ -1,0 +1,61 @@
+// Execution metrics collected by every CCA solver and substrate component.
+//
+// The paper (Section 5.1) reports three quantities per experiment: the size
+// of the explored subgraph |Esub|, CPU time, and I/O time charged
+// analytically at 10 ms per page fault. `Metrics` aggregates those plus a
+// number of internal counters that the tests and ablation benchmarks use.
+#ifndef CCA_COMMON_METRICS_H_
+#define CCA_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cca {
+
+// Cost charged per physical page read, following the paper's methodology
+// (Section 5.1, citing Silberschatz et al.).
+inline constexpr double kIoMillisPerFault = 10.0;
+
+// Counter bundle for one solver execution.
+//
+// All counters start at zero; solvers reset the bundle they are handed at
+// the beginning of a run. The struct is deliberately plain data so tests
+// can compare snapshots.
+struct Metrics {
+  // --- flow-graph side -----------------------------------------------------
+  std::uint64_t edges_inserted = 0;    // |Esub|: edges added to the subgraph
+  std::uint64_t dijkstra_runs = 0;     // full Dijkstra executions
+  std::uint64_t dijkstra_resumes = 0;  // PUA-assisted resumed executions
+  std::uint64_t dijkstra_pops = 0;     // nodes de-heaped across all runs
+  std::uint64_t dijkstra_relaxes = 0;  // edge relaxations across all runs
+  std::uint64_t augmentations = 0;     // accepted (valid) shortest paths
+  std::uint64_t invalid_paths = 0;     // Theorem-1 rejections
+  std::uint64_t fast_path_assigns = 0; // Theorem-2 direct assignments
+
+  // --- spatial side --------------------------------------------------------
+  std::uint64_t nn_searches = 0;     // incremental NN advances served
+  std::uint64_t range_searches = 0;  // (annular) range searches issued
+  std::uint64_t node_accesses = 0;   // logical R-tree node touches
+  std::uint64_t page_faults = 0;     // physical page reads (buffer misses)
+
+  // --- outcome ---------------------------------------------------------—--
+  double cpu_millis = 0.0;  // measured wall time of the compute phase
+
+  // Analytic I/O time in milliseconds (page_faults * 10 ms).
+  double io_millis() const { return static_cast<double>(page_faults) * kIoMillisPerFault; }
+  // Total simulated response time.
+  double total_millis() const { return cpu_millis + io_millis(); }
+
+  void Reset() { *this = Metrics{}; }
+
+  // Merges counters from another bundle (used when a driver runs phases
+  // with separate bundles, e.g. approximate partition + concise + refine).
+  void Accumulate(const Metrics& other);
+
+  // Human-readable one-line summary, used by examples and benches.
+  std::string ToString() const;
+};
+
+}  // namespace cca
+
+#endif  // CCA_COMMON_METRICS_H_

@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch used for the CPU-time metric.
+#ifndef CCA_COMMON_TIMER_H_
+#define CCA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cca {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_COMMON_TIMER_H_

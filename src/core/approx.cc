@@ -1,0 +1,118 @@
+#include "core/approx.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/partition.h"
+
+namespace cca {
+
+ApproxResult SolveSa(const Problem& problem, CustomerDb* db, const ApproxConfig& config) {
+  assert(problem.weights.empty() && "SA expects the exact (unit-weight) problem");
+  ApproxResult result;
+  Timer timer;
+
+  // --- partition phase (in memory; Q is small) ------------------------------
+  const Rect world = problem.World();
+  const auto groups = PartitionProviders(problem.providers, config.delta, world);
+  result.num_groups = groups.size();
+
+  // --- concise matching: representatives vs. the full customer set ----------
+  Problem concise;
+  concise.providers.reserve(groups.size());
+  for (const auto& g : groups) {
+    concise.providers.push_back(
+        Provider{g.representative, static_cast<std::int32_t>(g.capacity)});
+  }
+  concise.customers = problem.customers;
+  concise.weights = problem.weights;
+  ExactResult ida = SolveIda(concise, db, config.exact);
+  result.concise_cost = ida.matching.cost();
+  result.metrics.Accumulate(ida.metrics);
+
+  // --- refinement: per provider group, place its matched customers ----------
+  std::vector<std::vector<RTree::Hit>> group_customers(groups.size());
+  for (const auto& pair : ida.matching.pairs) {
+    const auto g = static_cast<std::size_t>(pair.provider);
+    const auto cust = static_cast<std::size_t>(pair.customer);
+    group_customers[g].push_back(
+        RTree::Hit{static_cast<std::uint32_t>(pair.customer), problem.customers[cust], 0.0});
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (group_customers[g].empty()) continue;
+    RefineTask task;
+    task.providers = groups[g].members;
+    task.quotas.reserve(task.providers.size());
+    for (int idx : task.providers) {
+      task.quotas.push_back(problem.providers[static_cast<std::size_t>(idx)].capacity);
+    }
+    task.customers = std::move(group_customers[g]);
+    RefineGroup(problem, task, config.refine, &result.matching);
+  }
+
+  result.metrics.cpu_millis = timer.ElapsedMillis();
+  return result;
+}
+
+ApproxResult SolveCa(const Problem& problem, CustomerDb* db, const ApproxConfig& config) {
+  assert(problem.weights.empty() && "CA expects the exact (unit-weight) problem");
+  ApproxResult result;
+  Timer timer;
+
+  // --- partition phase: delta-descent over the customer R-tree --------------
+  const Rect world = problem.World();
+  IoScope partition_io(db, &result.metrics);
+  const auto groups = PartitionCustomers(db->tree(), config.delta, world);
+  partition_io.Finish();
+  result.num_groups = groups.size();
+
+  // --- concise matching: Q vs. weighted representatives, in memory ----------
+  Problem concise;
+  concise.providers = problem.providers;
+  concise.customers.reserve(groups.size());
+  concise.weights.reserve(groups.size());
+  for (const auto& g : groups) {
+    concise.customers.push_back(g.representative);
+    concise.weights.push_back(static_cast<std::int32_t>(g.count));
+  }
+  CustomerDb::Options rep_options;
+  rep_options.rtree = db->tree()->options();
+  rep_options.buffer_fraction = 2.0;  // fully buffered: this phase is in-memory
+  CustomerDb rep_db(concise.customers, rep_options);
+  rep_db.Prewarm();
+  ExactResult ida = SolveIda(concise, &rep_db, config.exact);
+  result.concise_cost = ida.matching.cost();
+  result.metrics.Accumulate(ida.metrics);
+
+  // --- refinement: fetch each group's customers, honour per-provider units --
+  std::vector<std::vector<std::pair<int, std::int64_t>>> group_quotas(groups.size());
+  for (const auto& pair : ida.matching.pairs) {
+    group_quotas[static_cast<std::size_t>(pair.customer)].push_back(
+        {pair.provider, pair.units});
+  }
+  IoScope refine_io(db, &result.metrics);
+  std::vector<RTree::Hit> members;
+  std::vector<RTree::Hit> part_points;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (group_quotas[g].empty()) continue;
+    RefineTask task;
+    for (const auto& [provider, units] : group_quotas[g]) {
+      task.providers.push_back(provider);
+      task.quotas.push_back(units);
+    }
+    members.clear();
+    for (const auto& part : groups[g].parts) {
+      CollectPoints(db->tree(), part, &part_points);
+      members.insert(members.end(), part_points.begin(), part_points.end());
+    }
+    task.customers = members;
+    RefineGroup(problem, task, config.refine, &result.matching);
+  }
+  refine_io.Finish();
+
+  result.metrics.cpu_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace cca

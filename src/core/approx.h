@@ -1,0 +1,57 @@
+// Approximate CCA: Service-provider Approximation (SA) and Customer
+// Approximation (CA), paper Section 4.
+//
+// Both follow the same three phases — partition (delta-bounded grouping),
+// concise matching (an exact IDA run on representatives), refinement
+// (local heuristics) — and carry additive error guarantees:
+//   SA:  Psi(M) <= Psi(optimal) + 2 * gamma * delta   (Theorem 3)
+//   CA:  Psi(M) <= Psi(optimal) +     gamma * delta   (Theorem 4)
+#ifndef CCA_CORE_APPROX_H_
+#define CCA_CORE_APPROX_H_
+
+#include <cstddef>
+
+#include "common/metrics.h"
+#include "core/customer_db.h"
+#include "core/exact.h"
+#include "core/matching.h"
+#include "core/problem.h"
+#include "core/refine.h"
+
+namespace cca {
+
+struct ApproxConfig {
+  // Maximum group MBR diagonal (paper's delta; defaults follow the
+  // best-tradeoff values of Section 5.3: 40 for SA, 10 for CA).
+  double delta = 10.0;
+  RefineMode refine = RefineMode::kNearestNeighbor;
+  // Options for the concise matching IDA run.
+  ExactConfig exact;
+};
+
+struct ApproxResult {
+  Matching matching;
+  Metrics metrics;
+  std::size_t num_groups = 0;
+  double concise_cost = 0.0;  // Psi of the representative-level matching
+};
+
+// SA: groups providers, solves representatives-vs-full-P exactly, refines
+// within each provider group.
+ApproxResult SolveSa(const Problem& problem, CustomerDb* db, const ApproxConfig& config = {});
+
+// CA: groups customers via the R-tree, solves Q-vs-representatives (with
+// weighted representative customers) in memory, refines per group.
+ApproxResult SolveCa(const Problem& problem, CustomerDb* db, const ApproxConfig& config = {});
+
+// Theorem 3 / 4 error bound for a given gamma and delta.
+inline double SaErrorBound(std::int64_t gamma, double delta) {
+  return 2.0 * static_cast<double>(gamma) * delta;
+}
+inline double CaErrorBound(std::int64_t gamma, double delta) {
+  return static_cast<double>(gamma) * delta;
+}
+
+}  // namespace cca
+
+#endif  // CCA_CORE_APPROX_H_

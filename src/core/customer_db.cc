@@ -1,0 +1,30 @@
+#include "core/customer_db.h"
+
+#include "common/metrics.h"
+
+namespace cca {
+
+CustomerDb::CustomerDb(const std::vector<Point>& points) : CustomerDb(points, Options{}) {}
+
+CustomerDb::CustomerDb(const std::vector<Point>& points, const Options& options)
+    : points_(points) {
+  tree_ = RTree::BulkLoad(points_, options.rtree);
+  if (options.buffer_fraction >= 1.0) {
+    tree_->buffer().SetCapacity(tree_->page_count() + 1);
+  } else {
+    tree_->SetBufferFraction(options.buffer_fraction);
+    if (tree_->buffer().capacity() < options.min_buffer_pages) {
+      tree_->buffer().SetCapacity(options.min_buffer_pages);
+    }
+  }
+  tree_->ResetCounters();
+}
+
+void CustomerDb::Prewarm() {
+  std::vector<std::uint8_t> scratch(tree_->options().page_size);
+  for (PageId id = 0; id < tree_->page_count(); ++id) {
+    tree_->buffer().ReadPage(id, scratch.data());
+  }
+}
+
+}  // namespace cca

@@ -1,0 +1,59 @@
+// Exact CCA solvers: RIA, NIA and IDA (paper Section 3).
+//
+// All three produce the optimal capacity-constrained assignment; they
+// differ in how the flow subgraph Esub is grown and how aggressively
+// shortest paths can be certified against unexplored edges:
+//
+//   RIA  grows Esub with batched (annular) range searches of radius T,
+//        T advancing by theta; a path is final once its cost <= T.
+//   NIA  grows Esub one edge at a time from per-provider incremental NN
+//        streams; a path is final once its cost is at most the shortest
+//        pending (undiscovered) edge.
+//   IDA  refines NIA with full-provider distance lifts (paths through a
+//        full provider q cost at least realdist(q) + edge length) and the
+//        Theorem-2 fast path that assigns without any Dijkstra runs while
+//        no provider is full.
+#ifndef CCA_CORE_EXACT_H_
+#define CCA_CORE_EXACT_H_
+
+#include <cstddef>
+
+#include "common/metrics.h"
+#include "core/customer_db.h"
+#include "core/matching.h"
+#include "core/problem.h"
+
+namespace cca {
+
+struct ExactConfig {
+  // RIA: range increment theta (paper default 0.8 on the [0,1000]^2 world).
+  double theta = 0.8;
+  // Reuse Dijkstra computations across edge insertions (paper 3.4.1).
+  bool use_pua = true;
+  // Serve NN streams through the grouped ANN traversal (paper 3.4.2).
+  bool use_ann_grouping = true;
+  std::size_t ann_group_size = 8;
+  // IDA only: enable the full-provider distance lift in pending-edge keys.
+  // Disabling it reduces IDA's bound to NIA's (ablation switch).
+  bool ida_distance_lift = true;
+};
+
+struct ExactResult {
+  Matching matching;
+  Metrics metrics;
+};
+
+// Range Incremental Algorithm (paper Algorithm 2).
+ExactResult SolveRia(const Problem& problem, CustomerDb* db, const ExactConfig& config = {});
+
+// Nearest Neighbor Incremental Algorithm (paper Algorithm 3).
+ExactResult SolveNia(const Problem& problem, CustomerDb* db, const ExactConfig& config = {});
+
+// Incremental On-demand Algorithm (paper Algorithm 4); the best exact
+// method in the paper's evaluation and the engine behind SA/CA concise
+// matching.
+ExactResult SolveIda(const Problem& problem, CustomerDb* db, const ExactConfig& config = {});
+
+}  // namespace cca
+
+#endif  // CCA_CORE_EXACT_H_

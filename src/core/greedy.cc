@@ -1,0 +1,61 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/timer.h"
+#include "core/frontier.h"
+#include "core/nn_source.h"
+
+namespace cca {
+
+ExactResult SolveGreedySm(const Problem& problem, CustomerDb* db, const ExactConfig& config) {
+  assert(problem.weights.empty() && "greedy SM baseline supports unit weights only");
+  ExactResult result;
+  Timer timer;
+  IoScope io(db, &result.metrics);
+
+  auto source = MakeNnSource(db->tree(), problem.providers, config.use_ann_grouping,
+                             config.ann_group_size, problem.World());
+  EdgeFrontier frontier(problem, source.get(), &result.metrics);
+  const auto zero_lift = [](int) { return 0.0; };
+
+  std::vector<std::int64_t> used(problem.providers.size(), 0);
+  std::vector<char> assigned(problem.customers.size(), 0);
+  std::int64_t remaining = problem.Gamma();
+
+  while (remaining > 0) {
+    const auto [q, key] = frontier.MinKey(zero_lift);
+    (void)key;
+    assert(q >= 0 && "NN streams exhausted before gamma reached");
+    const EdgeFrontier::Candidate cand = frontier.at(q);
+    const auto uq = static_cast<std::size_t>(q);
+    if (!assigned[static_cast<std::size_t>(cand.cust)]) {
+      // Commit the globally closest feasible pair -- the SM join step.
+      assigned[static_cast<std::size_t>(cand.cust)] = 1;
+      ++used[uq];
+      --remaining;
+      result.matching.Add(q, cand.cust, 1, cand.dist);
+      ++result.metrics.augmentations;
+    }
+    if (used[uq] >= problem.providers[uq].capacity) {
+      // Retire the provider: mark its stream exhausted by never advancing
+      // it again; drop its pending candidate.
+      frontier.Retire(q);
+    } else {
+      frontier.Advance(q);
+    }
+  }
+
+  // Deterministic output order (by provider, then customer).
+  std::sort(result.matching.pairs.begin(), result.matching.pairs.end(),
+            [](const MatchPair& a, const MatchPair& b) {
+              return a.provider != b.provider ? a.provider < b.provider
+                                              : a.customer < b.customer;
+            });
+  io.Finish();
+  result.metrics.cpu_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace cca

@@ -1,0 +1,25 @@
+// Greedy spatial-matching baseline (paper Section 2.3 related work [12, 14]).
+//
+// The SM join repeatedly commits the globally closest (provider, customer)
+// pair: unlike CCA it performs local assignments with no global cost
+// objective, so its matching is generally suboptimal. We adapt it to
+// capacitated providers (a provider stays in play until its capacity is
+// exhausted) and drive it with the same incremental NN streams the exact
+// solvers use. The baseline benchmark quantifies the quality gap that
+// motivates CCA in the first place.
+#ifndef CCA_CORE_GREEDY_H_
+#define CCA_CORE_GREEDY_H_
+
+#include "core/exact.h"
+
+namespace cca {
+
+// Greedy globally-closest-pair assignment; same result shape as the exact
+// solvers but WITHOUT optimality: use only as a baseline. Requires unit
+// customer weights.
+ExactResult SolveGreedySm(const Problem& problem, CustomerDb* db,
+                          const ExactConfig& config = {});
+
+}  // namespace cca
+
+#endif  // CCA_CORE_GREEDY_H_

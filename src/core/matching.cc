@@ -1,0 +1,80 @@
+#include "core/matching.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cca {
+
+double Matching::cost() const {
+  double total = 0.0;
+  for (const auto& pair : pairs) total += pair.distance * pair.units;
+  return total;
+}
+
+std::int64_t Matching::size() const {
+  std::int64_t total = 0;
+  for (const auto& pair : pairs) total += pair.units;
+  return total;
+}
+
+std::vector<std::int64_t> Matching::ProviderLoads(std::size_t num_providers) const {
+  std::vector<std::int64_t> loads(num_providers, 0);
+  for (const auto& pair : pairs) loads[static_cast<std::size_t>(pair.provider)] += pair.units;
+  return loads;
+}
+
+std::vector<std::int64_t> Matching::CustomerLoads(std::size_t num_customers) const {
+  std::vector<std::int64_t> loads(num_customers, 0);
+  for (const auto& pair : pairs) loads[static_cast<std::size_t>(pair.customer)] += pair.units;
+  return loads;
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ValidateMatching(const Problem& problem, const Matching& matching, std::string* error) {
+  const auto nq = problem.providers.size();
+  const auto np = problem.customers.size();
+  for (const auto& pair : matching.pairs) {
+    if (pair.provider < 0 || static_cast<std::size_t>(pair.provider) >= nq) {
+      return Fail(error, "pair references an unknown provider");
+    }
+    if (pair.customer < 0 || static_cast<std::size_t>(pair.customer) >= np) {
+      return Fail(error, "pair references an unknown customer");
+    }
+    if (pair.units <= 0) return Fail(error, "pair with non-positive units");
+    const double actual = Distance(problem.providers[static_cast<std::size_t>(pair.provider)].pos,
+                                   problem.customers[static_cast<std::size_t>(pair.customer)]);
+    if (std::abs(actual - pair.distance) > 1e-6) {
+      return Fail(error, "stored pair distance disagrees with geometry");
+    }
+  }
+  const auto q_loads = matching.ProviderLoads(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    if (q_loads[i] > problem.providers[i].capacity) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "provider %zu exceeds capacity", i);
+      return Fail(error, buf);
+    }
+  }
+  const auto p_loads = matching.CustomerLoads(np);
+  for (std::size_t j = 0; j < np; ++j) {
+    if (p_loads[j] > problem.weight(j)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "customer %zu assigned more than its weight", j);
+      return Fail(error, buf);
+    }
+  }
+  if (matching.size() != problem.Gamma()) {
+    return Fail(error, "matching size differs from gamma (not maximum)");
+  }
+  return true;
+}
+
+}  // namespace cca

@@ -1,0 +1,47 @@
+// Matching (assignment) result type and validity checking.
+#ifndef CCA_CORE_MATCHING_H_
+#define CCA_CORE_MATCHING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace cca {
+
+struct MatchPair {
+  std::int32_t provider = -1;
+  std::int32_t customer = -1;
+  std::int32_t units = 1;     // >1 only for weighted (concise) instances
+  double distance = 0.0;      // dist(q, p)
+};
+
+// A capacity constrained assignment M. `cost()` is the paper's Psi(M):
+// the sum of pair distances weighted by assigned units.
+struct Matching {
+  std::vector<MatchPair> pairs;
+
+  void Add(std::int32_t provider, std::int32_t customer, std::int32_t units, double distance) {
+    pairs.push_back(MatchPair{provider, customer, units, distance});
+  }
+
+  double cost() const;
+  std::int64_t size() const;  // total assigned units
+
+  // Units assigned per provider / per customer (index -> units).
+  std::vector<std::int64_t> ProviderLoads(std::size_t num_providers) const;
+  std::vector<std::int64_t> CustomerLoads(std::size_t num_customers) const;
+};
+
+// Checks matching validity against `problem` (paper Section 1):
+//  (i)  every provider q serves at most q.k units, every customer p is
+//       assigned at most weight(p) units (exactly once for unit weights),
+//  (ii) |M| equals gamma = min(total weight, total capacity),
+//  (iii) every stored pair distance matches the point geometry.
+// Returns false and fills `error` on the first violation.
+bool ValidateMatching(const Problem& problem, const Matching& matching, std::string* error);
+
+}  // namespace cca
+
+#endif  // CCA_CORE_MATCHING_H_

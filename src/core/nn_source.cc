@@ -1,0 +1,34 @@
+#include "core/nn_source.h"
+
+namespace cca {
+
+PlainNnSource::PlainNnSource(RTree* tree, const std::vector<Provider>& providers) {
+  iterators_.reserve(providers.size());
+  for (const auto& q : providers) iterators_.emplace_back(tree, q.pos);
+}
+
+std::optional<RTree::Hit> PlainNnSource::NextNN(int q) {
+  return iterators_[static_cast<std::size_t>(q)].Next();
+}
+
+GroupedNnSource::GroupedNnSource(RTree* tree, const std::vector<Provider>& providers,
+                                 std::size_t max_group_size, const Rect& world) {
+  std::vector<Point> positions;
+  positions.reserve(providers.size());
+  for (const auto& q : providers) positions.push_back(q.pos);
+  const auto groups = FormHilbertGroups(positions, max_group_size, world);
+  searcher_ = std::make_unique<GroupAnnSearcher>(tree, positions, groups);
+}
+
+std::optional<RTree::Hit> GroupedNnSource::NextNN(int q) { return searcher_->NextNN(q); }
+
+std::unique_ptr<NnSource> MakeNnSource(RTree* tree, const std::vector<Provider>& providers,
+                                       bool use_ann_grouping, std::size_t max_group_size,
+                                       const Rect& world) {
+  if (use_ann_grouping && providers.size() > 1) {
+    return std::make_unique<GroupedNnSource>(tree, providers, max_group_size, world);
+  }
+  return std::make_unique<PlainNnSource>(tree, providers);
+}
+
+}  // namespace cca

@@ -1,0 +1,56 @@
+// Incremental NN streams for the edge-discovery side of NIA/IDA.
+//
+// `NnSource` hands out, per service provider, the next nearest customer on
+// demand. Two implementations: independent best-first iterators (one per
+// provider) and the shared grouped ANN traversal of paper Section 3.4.2,
+// selectable through ExactConfig::use_ann_grouping.
+#ifndef CCA_CORE_NN_SOURCE_H_
+#define CCA_CORE_NN_SOURCE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/problem.h"
+#include "rtree/ann_iterator.h"
+#include "rtree/nn_iterator.h"
+#include "rtree/rtree.h"
+
+namespace cca {
+
+class NnSource {
+ public:
+  virtual ~NnSource() = default;
+  // Next nearest customer of provider `q`, or nullopt when exhausted.
+  virtual std::optional<RTree::Hit> NextNN(int q) = 0;
+};
+
+// One independent best-first NN iterator per provider.
+class PlainNnSource : public NnSource {
+ public:
+  PlainNnSource(RTree* tree, const std::vector<Provider>& providers);
+  std::optional<RTree::Hit> NextNN(int q) override;
+
+ private:
+  std::vector<NnIterator> iterators_;
+};
+
+// Hilbert-grouped shared traversal (paper Algorithm 6).
+class GroupedNnSource : public NnSource {
+ public:
+  GroupedNnSource(RTree* tree, const std::vector<Provider>& providers,
+                  std::size_t max_group_size, const Rect& world);
+  std::optional<RTree::Hit> NextNN(int q) override;
+
+ private:
+  std::unique_ptr<GroupAnnSearcher> searcher_;
+};
+
+// Factory honouring the config switch.
+std::unique_ptr<NnSource> MakeNnSource(RTree* tree, const std::vector<Provider>& providers,
+                                       bool use_ann_grouping, std::size_t max_group_size,
+                                       const Rect& world);
+
+}  // namespace cca
+
+#endif  // CCA_CORE_NN_SOURCE_H_

@@ -1,0 +1,46 @@
+// Partitioning phase of the approximate methods (paper Sections 4.1, 4.2).
+//
+// SA groups *service providers*: Hilbert-ordered first-fit into groups
+// whose MBR diagonal stays within delta; each group is represented by its
+// capacity-weighted centroid carrying the summed capacity.
+//
+// CA groups *customers*: a delta-bounded R-tree descent (partition_scan.h)
+// followed by a merge of the resulting entries into hyper-entries, again
+// under the delta diagonal constraint; each group is represented by its
+// MBR centre carrying the group cardinality as weight. The MBR-centre
+// choice is what gives CA its delta/2 per-point displacement (Theorem 4).
+#ifndef CCA_CORE_PARTITION_H_
+#define CCA_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "geo/rect.h"
+#include "rtree/partition_scan.h"
+#include "rtree/rtree.h"
+
+namespace cca {
+
+struct ProviderGroup {
+  std::vector<int> members;  // indices into the provider vector
+  Rect mbr;
+  Point representative;       // capacity-weighted centroid
+  std::int64_t capacity = 0;  // summed member capacity
+};
+
+std::vector<ProviderGroup> PartitionProviders(const std::vector<Provider>& providers,
+                                              double delta, const Rect& world);
+
+struct CustomerGroup {
+  Rect mbr;
+  std::uint32_t count = 0;
+  Point representative;          // MBR centre
+  std::vector<BaseEntry> parts;  // underlying delta-entries (for refinement)
+};
+
+std::vector<CustomerGroup> PartitionCustomers(RTree* tree, double delta, const Rect& world);
+
+}  // namespace cca
+
+#endif  // CCA_CORE_PARTITION_H_

@@ -1,0 +1,29 @@
+#include "core/problem.h"
+
+#include <algorithm>
+
+namespace cca {
+
+std::int64_t Problem::TotalCapacity() const {
+  std::int64_t total = 0;
+  for (const auto& q : providers) total += q.capacity;
+  return total;
+}
+
+std::int64_t Problem::TotalWeight() const {
+  if (weights.empty()) return static_cast<std::int64_t>(customers.size());
+  std::int64_t total = 0;
+  for (auto w : weights) total += w;
+  return total;
+}
+
+std::int64_t Problem::Gamma() const { return std::min(TotalWeight(), TotalCapacity()); }
+
+Rect Problem::World() const {
+  Rect world;
+  for (const auto& q : providers) world.Expand(q.pos);
+  for (const auto& p : customers) world.Expand(p);
+  return world;
+}
+
+}  // namespace cca

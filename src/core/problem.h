@@ -1,0 +1,44 @@
+// CCA problem instance: capacitated service providers Q and customers P.
+#ifndef CCA_CORE_PROBLEM_H_
+#define CCA_CORE_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace cca {
+
+struct Provider {
+  Point pos;
+  std::int32_t capacity = 1;  // q.k: how many customers q can serve
+};
+
+// A CCA instance. Customers optionally carry integer weights: the exact
+// problem uses unit weights, while the CA approximation (paper Section 4.2)
+// solves a concise instance whose "customers" are group representatives
+// weighted by group size.
+struct Problem {
+  std::vector<Provider> providers;  // Q (assumed to fit in memory)
+  std::vector<Point> customers;     // P
+  std::vector<std::int32_t> weights;  // per-customer; empty means all 1
+
+  std::int32_t weight(std::size_t j) const {
+    return weights.empty() ? 1 : weights[j];
+  }
+
+  std::int64_t TotalCapacity() const;
+  std::int64_t TotalWeight() const;
+
+  // Required matching size: gamma = min(total weight, total capacity)
+  // (paper Section 1; equals min(|P|, sum q.k) for unit weights).
+  std::int64_t Gamma() const;
+
+  // Bounding box of all providers and customers.
+  Rect World() const;
+};
+
+}  // namespace cca
+
+#endif  // CCA_CORE_PROBLEM_H_

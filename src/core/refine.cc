@@ -1,0 +1,130 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "flow/sspa.h"
+
+namespace cca {
+namespace {
+
+struct PairCand {
+  double dist;
+  int provider_slot;  // index into task.providers
+  int cust_slot;      // index into task.customers
+};
+
+void RefineNearestNeighbor(const Problem& problem, const RefineTask& task, Matching* out) {
+  const auto np = task.providers.size();
+  const auto nc = task.customers.size();
+  // Per-provider customer lists in ascending distance, consumed lazily.
+  std::vector<std::vector<PairCand>> lists(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    const Point q = problem.providers[static_cast<std::size_t>(task.providers[i])].pos;
+    lists[i].reserve(nc);
+    for (std::size_t j = 0; j < nc; ++j) {
+      lists[i].push_back(
+          PairCand{Distance(q, task.customers[j].pos), static_cast<int>(i), static_cast<int>(j)});
+    }
+    std::sort(lists[i].begin(), lists[i].end(),
+              [](const PairCand& a, const PairCand& b) { return a.dist < b.dist; });
+  }
+  std::vector<std::size_t> cursor(np, 0);
+  std::vector<std::int64_t> quota = task.quotas;
+  std::vector<char> taken(nc, 0);
+  std::size_t remaining = nc;
+  std::int64_t quota_left = 0;
+  for (auto v : quota) quota_left += v;
+
+  // Round-robin: each provider with quota grabs its next unassigned NN.
+  while (remaining > 0 && quota_left > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < np && remaining > 0; ++i) {
+      if (quota[i] <= 0) continue;
+      auto& cur = cursor[i];
+      while (cur < lists[i].size() && taken[static_cast<std::size_t>(lists[i][cur].cust_slot)]) {
+        ++cur;
+      }
+      if (cur >= lists[i].size()) continue;
+      const PairCand& cand = lists[i][cur];
+      taken[static_cast<std::size_t>(cand.cust_slot)] = 1;
+      --remaining;
+      --quota[i];
+      --quota_left;
+      progressed = true;
+      out->Add(task.providers[i],
+               static_cast<std::int32_t>(task.customers[static_cast<std::size_t>(cand.cust_slot)].oid),
+               1, cand.dist);
+    }
+    if (!progressed) break;
+  }
+}
+
+void RefineExclusive(const Problem& problem, const RefineTask& task, Matching* out) {
+  const auto np = task.providers.size();
+  const auto nc = task.customers.size();
+  std::vector<PairCand> pairs;
+  pairs.reserve(np * nc);
+  for (std::size_t i = 0; i < np; ++i) {
+    const Point q = problem.providers[static_cast<std::size_t>(task.providers[i])].pos;
+    for (std::size_t j = 0; j < nc; ++j) {
+      pairs.push_back(
+          PairCand{Distance(q, task.customers[j].pos), static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairCand& a, const PairCand& b) { return a.dist < b.dist; });
+  std::vector<std::int64_t> quota = task.quotas;
+  std::vector<char> taken(nc, 0);
+  for (const PairCand& cand : pairs) {
+    if (taken[static_cast<std::size_t>(cand.cust_slot)]) continue;
+    if (quota[static_cast<std::size_t>(cand.provider_slot)] <= 0) continue;
+    taken[static_cast<std::size_t>(cand.cust_slot)] = 1;
+    --quota[static_cast<std::size_t>(cand.provider_slot)];
+    out->Add(task.providers[static_cast<std::size_t>(cand.provider_slot)],
+             static_cast<std::int32_t>(task.customers[static_cast<std::size_t>(cand.cust_slot)].oid),
+             1, cand.dist);
+  }
+}
+
+// Exact local refinement: the group becomes a standalone CCA instance with
+// provider capacities equal to the concise-matching quotas, solved with
+// dense SSPA (local problems are small).
+void RefineExact(const Problem& problem, const RefineTask& task, Matching* out) {
+  Problem local;
+  local.providers.reserve(task.providers.size());
+  for (std::size_t i = 0; i < task.providers.size(); ++i) {
+    local.providers.push_back(
+        Provider{problem.providers[static_cast<std::size_t>(task.providers[i])].pos,
+                 static_cast<std::int32_t>(task.quotas[i])});
+  }
+  local.customers.reserve(task.customers.size());
+  for (const auto& h : task.customers) local.customers.push_back(h.pos);
+  const SspaResult solved = SolveSspa(local);
+  for (const auto& pair : solved.matching.pairs) {
+    out->Add(task.providers[static_cast<std::size_t>(pair.provider)],
+             static_cast<std::int32_t>(
+                 task.customers[static_cast<std::size_t>(pair.customer)].oid),
+             pair.units, pair.distance);
+  }
+}
+
+}  // namespace
+
+void RefineGroup(const Problem& problem, const RefineTask& task, RefineMode mode, Matching* out) {
+  assert(task.providers.size() == task.quotas.size());
+  if (task.customers.empty() || task.providers.empty()) return;
+  switch (mode) {
+    case RefineMode::kNearestNeighbor:
+      RefineNearestNeighbor(problem, task, out);
+      break;
+    case RefineMode::kExclusiveNearestNeighbor:
+      RefineExclusive(problem, task, out);
+      break;
+    case RefineMode::kExact:
+      RefineExact(problem, task, out);
+      break;
+  }
+}
+
+}  // namespace cca

@@ -1,0 +1,46 @@
+// Refinement phase of the approximate methods (paper Section 4.3).
+//
+// The concise matching decides, per group, *how many* customers each
+// provider serves; refinement turns that into concrete (provider,
+// customer) pairs by solving many small local assignment problems with one
+// of two heuristics:
+//   * NN-based: round-robin over providers, each repeatedly grabbing its
+//     nearest unassigned customer;
+//   * Exclusive-NN: globally pick the closest (provider, customer) pair
+//     among providers with remaining quota, assign, repeat.
+#ifndef CCA_CORE_REFINE_H_
+#define CCA_CORE_REFINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matching.h"
+#include "core/problem.h"
+#include "rtree/rtree.h"
+
+namespace cca {
+
+enum class RefineMode {
+  kNearestNeighbor,           // "N" variants in the paper's charts
+  kExclusiveNearestNeighbor,  // "E" variants
+  // Solve each local problem as an exact CCA (the alternative the paper
+  // mentions and rejects as expensive in Section 4.3; "X" in our charts).
+  // Local problems are small, so this buys the best refinement quality at
+  // a measurable but often acceptable CPU premium.
+  kExact,
+};
+
+// One local refinement problem.
+struct RefineTask {
+  std::vector<int> providers;         // global provider indices
+  std::vector<std::int64_t> quotas;   // units assignable per provider
+  std::vector<RTree::Hit> customers;  // customers of this group (oid + pos)
+};
+
+// Solves `task` with the chosen heuristic and appends the produced pairs
+// to `out`. Assigns min(total quota, #customers) customers.
+void RefineGroup(const Problem& problem, const RefineTask& task, RefineMode mode, Matching* out);
+
+}  // namespace cca
+
+#endif  // CCA_CORE_REFINE_H_

@@ -1,0 +1,71 @@
+// Range Incremental Algorithm (RIA), paper Algorithm 2.
+//
+// Esub holds exactly the provider->customer edges of length <= T, grown in
+// annular batches of width theta. With the fixed-source potential
+// convention a computed shortest path is globally valid as soon as its
+// (real) cost is within T, since every unexplored edge is longer than T
+// and real path costs through it cannot be smaller (Theorem 1; see
+// DESIGN.md Section 3.2 for why no tau_max slack is needed).
+#include <cassert>
+
+#include "common/timer.h"
+#include "core/engine.h"
+#include "core/exact.h"
+
+namespace cca {
+
+ExactResult SolveRia(const Problem& problem, CustomerDb* db, const ExactConfig& config) {
+  ExactResult result;
+  Timer timer;
+  IoScope io(db, &result.metrics);
+
+  IncrementalEngine::Config engine_config;
+  engine_config.use_pua = config.use_pua;
+  engine_config.unit_edges = problem.weights.empty();
+  IncrementalEngine engine(problem, engine_config, &result.metrics);
+
+  const double world_diag = problem.World().Diagonal();
+  const auto nq = problem.providers.size();
+
+  double t_range = config.theta;
+  bool exhausted = false;
+  std::vector<RTree::Hit> hits;
+
+  // Initial batch: all edges of length <= theta.
+  for (std::size_t q = 0; q < nq; ++q) {
+    db->tree()->RangeSearch(problem.providers[q].pos, t_range, &hits);
+    ++result.metrics.range_searches;
+    for (const auto& h : hits) {
+      engine.InsertEdge(static_cast<int>(q), static_cast<int>(h.oid), h.dist);
+    }
+  }
+
+  while (!engine.Done()) {
+    const double d = engine.ComputeShortestPath();
+    if (d <= t_range + 1e-9 || exhausted) {
+      assert(d < std::numeric_limits<double>::infinity());
+      engine.AcceptPath();
+      continue;
+    }
+    // Invalid path: widen the annulus (T-theta, T] and retry (Algorithm 2
+    // lines 12-15).
+    ++result.metrics.invalid_paths;
+    const double lo = t_range;
+    t_range += config.theta;
+    for (std::size_t q = 0; q < nq; ++q) {
+      db->tree()->AnnularRangeSearch(problem.providers[q].pos, lo, t_range, &hits);
+      ++result.metrics.range_searches;
+      for (const auto& h : hits) {
+        engine.InsertEdge(static_cast<int>(q), static_cast<int>(h.oid), h.dist);
+      }
+    }
+    if (t_range >= world_diag) exhausted = true;  // Esub == E from here on
+  }
+
+  result.matching = engine.BuildMatching();
+  io.Finish();
+  result.metrics.cpu_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace cca

@@ -1,0 +1,104 @@
+#include "flow/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cca {
+
+FlowNetwork::FlowNetwork(int num_nodes) : adj_(static_cast<std::size_t>(num_nodes)) {}
+
+int FlowNetwork::AddEdge(int u, int v, std::int64_t cap, double cost) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{v, id + 1, cap, cost});
+  edges_.push_back(Edge{u, id, 0, -cost});
+  initial_cap_.push_back(cap);
+  initial_cap_.push_back(0);
+  adj_[static_cast<std::size_t>(u)].push_back(id);
+  adj_[static_cast<std::size_t>(v)].push_back(id + 1);
+  return id;
+}
+
+std::int64_t FlowNetwork::FlowOn(int index) const {
+  return initial_cap_[static_cast<std::size_t>(index)] -
+         edges_[static_cast<std::size_t>(index)].cap;
+}
+
+bool FlowNetwork::ShortestPath(int s, int t, std::vector<double>* dist,
+                               std::vector<int>* parent_edge) {
+  const double inf = std::numeric_limits<double>::infinity();
+  dist->assign(static_cast<std::size_t>(num_nodes()), inf);
+  parent_edge->assign(static_cast<std::size_t>(num_nodes()), -1);
+  (*dist)[static_cast<std::size_t>(s)] = 0.0;
+  // Bellman-Ford with a simple queue (SPFA); graphs here are small.
+  std::vector<int> queue{s};
+  std::vector<char> in_queue(static_cast<std::size_t>(num_nodes()), 0);
+  in_queue[static_cast<std::size_t>(s)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    in_queue[static_cast<std::size_t>(u)] = 0;
+    for (int eid : adj_[static_cast<std::size_t>(u)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(eid)];
+      if (e.cap <= 0) continue;
+      const double cand = (*dist)[static_cast<std::size_t>(u)] + e.cost;
+      if (cand < (*dist)[static_cast<std::size_t>(e.to)] - 1e-12) {
+        (*dist)[static_cast<std::size_t>(e.to)] = cand;
+        (*parent_edge)[static_cast<std::size_t>(e.to)] = eid;
+        if (!in_queue[static_cast<std::size_t>(e.to)]) {
+          in_queue[static_cast<std::size_t>(e.to)] = 1;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+  return (*dist)[static_cast<std::size_t>(t)] < inf;
+}
+
+FlowNetwork::SolveResult FlowNetwork::MinCostFlow(int s, int t, std::int64_t target) {
+  SolveResult result;
+  std::vector<double> dist;
+  std::vector<int> parent;
+  while (result.flow < target) {
+    if (!ShortestPath(s, t, &dist, &parent)) break;
+    // Bottleneck along the path.
+    std::int64_t push = target - result.flow;
+    for (int v = t; v != s;) {
+      const int eid = parent[static_cast<std::size_t>(v)];
+      push = std::min(push, edges_[static_cast<std::size_t>(eid)].cap);
+      v = edges_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(eid)].twin)].to;
+    }
+    for (int v = t; v != s;) {
+      const int eid = parent[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(eid)].cap -= push;
+      edges_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(eid)].twin)].cap += push;
+      result.cost += edges_[static_cast<std::size_t>(eid)].cost * static_cast<double>(push);
+      v = edges_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(eid)].twin)].to;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+bool FlowNetwork::HasNegativeCycle(double eps) {
+  // Bellman-Ford from a virtual super-source connected to every node.
+  const auto n = static_cast<std::size_t>(num_nodes());
+  std::vector<double> dist(n, 0.0);
+  for (int round = 0; round < num_nodes(); ++round) {
+    bool changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (int eid : adj_[u]) {
+        const Edge& e = edges_[static_cast<std::size_t>(eid)];
+        if (e.cap <= 0) continue;
+        if (dist[u] + e.cost < dist[static_cast<std::size_t>(e.to)] - eps) {
+          dist[static_cast<std::size_t>(e.to)] = dist[u] + e.cost;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace cca

@@ -1,0 +1,65 @@
+// Generic min-cost-flow network on explicit edge lists.
+//
+// This is the textbook formulation of Section 2.1: integer capacities, real
+// costs, residual twin edges. It is deliberately simple (Bellman-Ford based
+// successive shortest paths) and serves as an *independent oracle* for the
+// specialised solvers: tests build the complete CCA flow graph here and
+// compare optimal costs, and the Klein optimality certificate runs negative
+// cycle detection on this structure.
+#ifndef CCA_FLOW_FLOW_NETWORK_H_
+#define CCA_FLOW_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cca {
+
+class FlowNetwork {
+ public:
+  struct Edge {
+    int to = -1;
+    int twin = -1;          // index of the reverse edge
+    std::int64_t cap = 0;   // remaining capacity
+    double cost = 0.0;      // real (not reduced) cost
+  };
+
+  // Creates a network with `num_nodes` nodes and no edges.
+  explicit FlowNetwork(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  // Adds a directed edge u->v (and its zero-capacity twin). Returns the
+  // edge index, usable with `edge()` to read residual state after a solve.
+  int AddEdge(int u, int v, std::int64_t cap, double cost);
+
+  const Edge& edge(int index) const { return edges_[static_cast<std::size_t>(index)]; }
+
+  // Flow pushed through edge `index` so far (capacity moved to the twin).
+  std::int64_t FlowOn(int index) const;
+
+  // Sends up to `target` units from s to t along successive cheapest paths
+  // (Bellman-Ford, so negative residual costs are fine). Returns the pair
+  // {units actually sent, total cost}.
+  struct SolveResult {
+    std::int64_t flow = 0;
+    double cost = 0.0;
+  };
+  SolveResult MinCostFlow(int s, int t, std::int64_t target);
+
+  // Detects a residual negative-cost cycle (Klein's optimality condition:
+  // a feasible flow is minimum-cost iff none exists). `eps` guards against
+  // floating point noise.
+  bool HasNegativeCycle(double eps = 1e-7);
+
+ private:
+  // Bellman-Ford from s over residual edges; fills dist/parent-edge.
+  bool ShortestPath(int s, int t, std::vector<double>* dist, std::vector<int>* parent_edge);
+
+  std::vector<Edge> edges_;
+  std::vector<std::int64_t> initial_cap_;
+  std::vector<std::vector<int>> adj_;  // node -> edge indices
+};
+
+}  // namespace cca
+
+#endif  // CCA_FLOW_FLOW_NETWORK_H_

@@ -1,0 +1,124 @@
+#include "flow/hungarian.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace cca {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Rectangular Hungarian (shortest augmenting path with dual potentials,
+// the classic e-maxx formulation): assigns every row to a distinct column,
+// rows <= cols, minimising total cost. `cost(i, j)` is evaluated lazily.
+template <typename CostFn>
+std::vector<int> RectangularHungarian(std::size_t rows, std::size_t cols, CostFn cost,
+                                      Metrics* metrics) {
+  assert(rows <= cols);
+  // 1-based arrays; p[j] = row matched to column j (0 = none).
+  std::vector<double> u(rows + 1, 0.0), v(cols + 1, 0.0);
+  std::vector<int> p(cols + 1, 0), way(cols + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) {
+    p[0] = static_cast<int>(i);
+    int j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<char> used(cols + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        ++metrics->dijkstra_relaxes;  // matrix-cell visits
+        const double cur = cost(static_cast<std::size_t>(i0 - 1), j - 1) -
+                           u[static_cast<std::size_t>(i0)] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = static_cast<int>(j);
+        }
+      }
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[static_cast<std::size_t>(p[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+    ++metrics->augmentations;
+  }
+  std::vector<int> row_to_col(rows, -1);
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (p[j] > 0) row_to_col[static_cast<std::size_t>(p[j] - 1)] = static_cast<int>(j - 1);
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+HungarianResult SolveHungarian(const Problem& problem) {
+  assert(problem.weights.empty() && "Hungarian baseline supports unit weights only");
+  HungarianResult result;
+  Timer timer;
+
+  // Expand providers into unit slots.
+  std::vector<int> slot_provider;
+  for (std::size_t q = 0; q < problem.providers.size(); ++q) {
+    for (int s = 0; s < problem.providers[q].capacity; ++s) {
+      slot_provider.push_back(static_cast<int>(q));
+    }
+  }
+  const std::size_t slots = slot_provider.size();
+  const std::size_t customers = problem.customers.size();
+  result.matrix_cells = static_cast<std::uint64_t>(slots) * customers;
+  if (slots == 0 || customers == 0) return result;
+
+  const auto dist = [&](std::size_t slot, std::size_t cust) {
+    return Distance(problem.providers[static_cast<std::size_t>(slot_provider[slot])].pos,
+                    problem.customers[cust]);
+  };
+
+  if (slots <= customers) {
+    // Every slot gets a customer.
+    const auto match = RectangularHungarian(
+        slots, customers, [&](std::size_t i, std::size_t j) { return dist(i, j); },
+        &result.metrics);
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (match[s] >= 0) {
+        result.matching.Add(slot_provider[s], match[s], 1,
+                            dist(s, static_cast<std::size_t>(match[s])));
+      }
+    }
+  } else {
+    // Every customer gets a slot (transpose orientation).
+    const auto match = RectangularHungarian(
+        customers, slots, [&](std::size_t i, std::size_t j) { return dist(j, i); },
+        &result.metrics);
+    for (std::size_t c = 0; c < customers; ++c) {
+      if (match[c] >= 0) {
+        const auto s = static_cast<std::size_t>(match[c]);
+        result.matching.Add(slot_provider[s], static_cast<std::int32_t>(c), 1, dist(s, c));
+      }
+    }
+  }
+  result.metrics.cpu_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace cca

@@ -1,0 +1,180 @@
+#include "flow/oracle.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "flow/flow_network.h"
+
+namespace cca {
+namespace {
+
+// Node numbering inside the explicit flow graph.
+struct CcaGraph {
+  FlowNetwork net;
+  int s;
+  int t;
+  std::vector<std::vector<int>> qp_edges;  // [q][p] -> edge index
+  std::vector<int> sq_edges;               // [q] -> edge index
+  std::vector<int> pt_edges;               // [p] -> edge index
+};
+
+CcaGraph BuildCcaGraph(const Problem& problem) {
+  const int nq = static_cast<int>(problem.providers.size());
+  const int np = static_cast<int>(problem.customers.size());
+  CcaGraph g{FlowNetwork(nq + np + 2), nq + np, nq + np + 1, {}, {}, {}};
+  g.qp_edges.assign(static_cast<std::size_t>(nq), std::vector<int>(static_cast<std::size_t>(np)));
+  g.sq_edges.resize(static_cast<std::size_t>(nq));
+  g.pt_edges.resize(static_cast<std::size_t>(np));
+  const bool unit = problem.weights.empty();
+  for (int q = 0; q < nq; ++q) {
+    g.sq_edges[static_cast<std::size_t>(q)] =
+        g.net.AddEdge(g.s, q, problem.providers[static_cast<std::size_t>(q)].capacity, 0.0);
+  }
+  for (int p = 0; p < np; ++p) {
+    g.pt_edges[static_cast<std::size_t>(p)] =
+        g.net.AddEdge(nq + p, g.t, problem.weight(static_cast<std::size_t>(p)), 0.0);
+    for (int q = 0; q < nq; ++q) {
+      const double d = Distance(problem.providers[static_cast<std::size_t>(q)].pos,
+                                problem.customers[static_cast<std::size_t>(p)]);
+      // Unit problems cap provider->customer edges at 1 (paper Section
+      // 2.1); weighted (concise) problems leave them node-bounded.
+      const std::int64_t cap =
+          unit ? 1
+               : std::min<std::int64_t>(problem.providers[static_cast<std::size_t>(q)].capacity,
+                                        problem.weight(static_cast<std::size_t>(p)));
+      g.qp_edges[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] =
+          g.net.AddEdge(q, nq + p, cap, d);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Matching SolveWithNetworkOracle(const Problem& problem) {
+  CcaGraph g = BuildCcaGraph(problem);
+  const auto result = g.net.MinCostFlow(g.s, g.t, problem.Gamma());
+  assert(result.flow == problem.Gamma());
+  (void)result;
+  Matching matching;
+  const int nq = static_cast<int>(problem.providers.size());
+  const int np = static_cast<int>(problem.customers.size());
+  for (int q = 0; q < nq; ++q) {
+    for (int p = 0; p < np; ++p) {
+      const std::int64_t units =
+          g.net.FlowOn(g.qp_edges[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)]);
+      if (units > 0) {
+        matching.Add(q, p, static_cast<std::int32_t>(units),
+                     Distance(problem.providers[static_cast<std::size_t>(q)].pos,
+                              problem.customers[static_cast<std::size_t>(p)]));
+      }
+    }
+  }
+  return matching;
+}
+
+bool IsOptimalMatching(const Problem& problem, const Matching& matching) {
+  std::string error;
+  if (!ValidateMatching(problem, matching, &error)) return false;
+  // Install the matching as a flow, then apply Klein's condition.
+  CcaGraph g = BuildCcaGraph(problem);
+  const int nq = static_cast<int>(problem.providers.size());
+  std::vector<std::int64_t> q_load(problem.providers.size(), 0);
+  std::vector<std::int64_t> p_load(problem.customers.size(), 0);
+  // Re-add flows by solving trivially: push each matched pair along
+  // s -> q -> p -> t using targeted 3-edge paths.
+  for (const auto& pair : matching.pairs) {
+    q_load[static_cast<std::size_t>(pair.provider)] += pair.units;
+    p_load[static_cast<std::size_t>(pair.customer)] += pair.units;
+  }
+  // Manually set residual capacities.
+  FlowNetwork net(nq + static_cast<int>(problem.customers.size()) + 2);
+  const int s = nq + static_cast<int>(problem.customers.size());
+  const int t = s + 1;
+  const bool unit = problem.weights.empty();
+  for (int q = 0; q < nq; ++q) {
+    const std::int64_t cap = problem.providers[static_cast<std::size_t>(q)].capacity;
+    const std::int64_t used = q_load[static_cast<std::size_t>(q)];
+    if (cap - used > 0) net.AddEdge(s, q, cap - used, 0.0);
+    if (used > 0) net.AddEdge(q, s, used, 0.0);
+  }
+  for (int p = 0; p < static_cast<int>(problem.customers.size()); ++p) {
+    const std::int64_t cap = problem.weight(static_cast<std::size_t>(p));
+    const std::int64_t used = p_load[static_cast<std::size_t>(p)];
+    const int p_node = nq + p;
+    if (cap - used > 0) net.AddEdge(p_node, t, cap - used, 0.0);
+    if (used > 0) net.AddEdge(t, p_node, used, 0.0);
+  }
+  // Provider->customer edges with their matched flow reversed.
+  std::vector<std::vector<std::int64_t>> pair_units(
+      problem.providers.size(), std::vector<std::int64_t>(problem.customers.size(), 0));
+  for (const auto& pair : matching.pairs) {
+    pair_units[static_cast<std::size_t>(pair.provider)][static_cast<std::size_t>(pair.customer)] +=
+        pair.units;
+  }
+  for (int q = 0; q < nq; ++q) {
+    for (int p = 0; p < static_cast<int>(problem.customers.size()); ++p) {
+      const double d = Distance(problem.providers[static_cast<std::size_t>(q)].pos,
+                                problem.customers[static_cast<std::size_t>(p)]);
+      const std::int64_t flow = pair_units[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)];
+      const std::int64_t cap =
+          unit ? 1
+               : std::min<std::int64_t>(problem.providers[static_cast<std::size_t>(q)].capacity,
+                                        problem.weight(static_cast<std::size_t>(p)));
+      if (cap - flow > 0) net.AddEdge(q, nq + p, cap - flow, d);
+      if (flow > 0) net.AddEdge(nq + p, q, flow, -d);
+    }
+  }
+  return !net.HasNegativeCycle();
+}
+
+Matching BruteForceOptimal(const Problem& problem) {
+  assert(problem.weights.empty() && "brute force supports unit weights only");
+  const auto nq = problem.providers.size();
+  const auto np = problem.customers.size();
+  const std::int64_t gamma = problem.Gamma();
+
+  std::vector<int> assign(np, -1);
+  std::vector<int> best_assign;
+  std::vector<std::int64_t> used(nq, 0);
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  // Depth-first over customers; each is assigned to a provider or skipped.
+  // Only assignments reaching size gamma are feasible candidates.
+  auto recurse = [&](auto&& self, std::size_t j, std::int64_t assigned, double cost) -> void {
+    if (cost >= best_cost) return;  // cost-only prune (distances are >= 0)
+    if (j == np) {
+      if (assigned == gamma && cost < best_cost) {
+        best_cost = cost;
+        best_assign.assign(assign.begin(), assign.end());
+      }
+      return;
+    }
+    // Even assigning every remaining customer cannot reach gamma: prune.
+    if (assigned + static_cast<std::int64_t>(np - j) < gamma) return;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (used[q] >= problem.providers[q].capacity) continue;
+      used[q] += 1;
+      assign[j] = static_cast<int>(q);
+      self(self, j + 1, assigned + 1,
+           cost + Distance(problem.providers[q].pos, problem.customers[j]));
+      used[q] -= 1;
+      assign[j] = -1;
+    }
+    self(self, j + 1, assigned, cost);
+  };
+  recurse(recurse, 0, 0, 0.0);
+
+  Matching matching;
+  for (std::size_t j = 0; j < best_assign.size(); ++j) {
+    if (best_assign[j] >= 0) {
+      matching.Add(best_assign[j], static_cast<std::int32_t>(j), 1,
+                   Distance(problem.providers[static_cast<std::size_t>(best_assign[j])].pos,
+                            problem.customers[j]));
+    }
+  }
+  return matching;
+}
+
+}  // namespace cca

@@ -1,0 +1,32 @@
+// Independent correctness oracles for CCA solvers.
+//
+// Three levels of assurance, used throughout the test suite:
+//  1. BruteForceOptimal: exhaustive search, tiny instances only.
+//  2. SolveWithNetworkOracle: generic Bellman-Ford min-cost flow over the
+//     explicit Section-2.1 flow graph (FlowNetwork).
+//  3. IsOptimalMatching: Klein's optimality certificate — a feasible
+//     maximum-size matching is optimal iff the residual graph it induces
+//     has no negative-cost cycle. This validates *any* solver's output
+//     without needing a second solver run.
+#ifndef CCA_FLOW_ORACLE_H_
+#define CCA_FLOW_ORACLE_H_
+
+#include "core/matching.h"
+#include "core/problem.h"
+
+namespace cca {
+
+// Exhaustively enumerates assignments (providers^customers); requires unit
+// customer weights and a tiny instance (customers^providers manageable).
+Matching BruteForceOptimal(const Problem& problem);
+
+// Optimal matching via the generic FlowNetwork solver (handles weighted
+// customers). Quadratic edge count: small/medium instances only.
+Matching SolveWithNetworkOracle(const Problem& problem);
+
+// True iff `matching` is a valid maximum-size assignment of minimal cost.
+bool IsOptimalMatching(const Problem& problem, const Matching& matching);
+
+}  // namespace cca
+
+#endif  // CCA_FLOW_ORACLE_H_

@@ -1,0 +1,245 @@
+#include "flow/sspa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/timer.h"
+
+namespace cca {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dense SSPA state. Node ids: providers [0, nq), customers [nq, nq+np),
+// sink t = nq+np. The source is implicit: Dijkstra seeds every provider
+// with remaining capacity at alpha = tau(q) (reduced cost of s->q).
+class DenseSspa {
+ public:
+  explicit DenseSspa(const Problem& problem)
+      : problem_(problem),
+        nq_(problem.providers.size()),
+        np_(problem.customers.size()),
+        unit_customers_(problem.weights.empty()),
+        tau_q_(nq_, 0.0),
+        tau_p_(np_, 0.0),
+        used_q_(nq_, 0),
+        sink_flow_(np_, 0),
+        flows_(np_),
+        alpha_(nq_ + np_ + 1, kInf),
+        prev_(nq_ + np_ + 1, -1),
+        heap_(nq_ + np_ + 1) {}
+
+  SspaResult Run() {
+    Timer timer;
+    SspaResult result;
+    result.conceptual_edges = static_cast<std::uint64_t>(nq_) * static_cast<std::uint64_t>(np_);
+    std::int64_t remaining = problem_.Gamma();
+    while (remaining > 0) {
+      const double d = Dijkstra(&result.metrics);
+      assert(d < kInf && "flow graph must admit gamma units");
+      const std::int64_t pushed = Augment(remaining);
+      UpdatePotentials(d);
+      remaining -= pushed;
+      ++result.metrics.augmentations;
+    }
+    ExtractMatching(&result.matching);
+    result.metrics.cpu_millis = timer.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  int Sink() const { return static_cast<int>(nq_ + np_); }
+
+  bool HasFlow(std::size_t q, std::size_t p) const {
+    for (const auto& f : flows_[p]) {
+      if (static_cast<std::size_t>(f.provider) == q) return true;
+    }
+    return false;
+  }
+
+  // One Dijkstra run over the residual graph with reduced costs; returns
+  // the shortest-path cost to the sink. Fills `touched_` with de-heaped
+  // nodes (all have alpha <= D).
+  double Dijkstra(Metrics* metrics) {
+    ++metrics->dijkstra_runs;
+    heap_.Clear();
+    touched_.clear();
+    std::fill(alpha_.begin(), alpha_.end(), kInf);
+    std::fill(prev_.begin(), prev_.end(), -1);
+    for (std::size_t q = 0; q < nq_; ++q) {
+      if (used_q_[q] < problem_.providers[q].capacity) {
+        alpha_[q] = tau_q_[q];
+        prev_[q] = -1;  // reached from the source
+        heap_.PushOrDecrease(static_cast<int>(q), alpha_[q]);
+      }
+    }
+    while (!heap_.empty()) {
+      const auto [u, key] = heap_.PopMin();
+      ++metrics->dijkstra_pops;
+      if (u == Sink()) return key;
+      touched_.push_back(u);
+      if (static_cast<std::size_t>(u) < nq_) {
+        RelaxProvider(static_cast<std::size_t>(u), metrics);
+      } else {
+        RelaxCustomer(static_cast<std::size_t>(u) - nq_, metrics);
+      }
+    }
+    return kInf;
+  }
+
+  void Relax(int node, double cand, int from) {
+    if (cand < alpha_[static_cast<std::size_t>(node)]) {
+      alpha_[static_cast<std::size_t>(node)] = cand;
+      prev_[static_cast<std::size_t>(node)] = from;
+      heap_.PushOrDecrease(node, cand);
+    }
+  }
+
+  void RelaxProvider(std::size_t q, Metrics* metrics) {
+    const Point q_pos = problem_.providers[q].pos;
+    for (std::size_t p = 0; p < np_; ++p) {
+      // A saturated unit edge only has its reverse direction left.
+      if (unit_customers_ && HasFlow(q, p)) continue;
+      ++metrics->dijkstra_relaxes;
+      const double w = Distance(q_pos, problem_.customers[p]) - tau_q_[q] + tau_p_[p];
+      Relax(static_cast<int>(nq_ + p), alpha_[q] + std::max(w, 0.0), static_cast<int>(q));
+    }
+  }
+
+  void RelaxCustomer(std::size_t p, Metrics* metrics) {
+    // Sink edge (cost 0, reduced -tau_p which is 0 while unsaturated).
+    if (sink_flow_[p] < problem_.weight(p)) {
+      ++metrics->dijkstra_relaxes;
+      Relax(Sink(), alpha_[nq_ + p] + std::max(-tau_p_[p], 0.0), static_cast<int>(nq_ + p));
+    }
+    // Reverse edges toward providers currently serving p.
+    const Point p_pos = problem_.customers[p];
+    for (const auto& f : flows_[p]) {
+      ++metrics->dijkstra_relaxes;
+      const auto q = static_cast<std::size_t>(f.provider);
+      const double w = -Distance(problem_.providers[q].pos, p_pos) - tau_p_[p] + tau_q_[q];
+      Relax(f.provider, alpha_[nq_ + p] + std::max(w, 0.0), static_cast<int>(nq_ + p));
+    }
+  }
+
+  // Traces prev_ pointers from the sink, pushes the bottleneck flow.
+  std::int64_t Augment(std::int64_t limit) {
+    // First pass: find the bottleneck.
+    std::int64_t push = limit;
+    int v = Sink();
+    while (true) {
+      const int u = prev_[static_cast<std::size_t>(v)];
+      if (v == Sink()) {
+        const auto p = static_cast<std::size_t>(u) - nq_;
+        push = std::min<std::int64_t>(push, problem_.weight(p) - sink_flow_[p]);
+      } else if (static_cast<std::size_t>(v) < nq_ && u >= 0) {
+        // Reverse edge p->q: limited by the units currently flowing.
+        const auto p = static_cast<std::size_t>(u) - nq_;
+        push = std::min<std::int64_t>(push, FlowUnits(static_cast<std::size_t>(v), p));
+      } else if (static_cast<std::size_t>(v) >= nq_) {
+        if (unit_customers_) push = std::min<std::int64_t>(push, 1);
+      }
+      if (u < 0) {
+        // v is the first provider, fed by the source edge.
+        const auto q = static_cast<std::size_t>(v);
+        push = std::min<std::int64_t>(push, problem_.providers[q].capacity - used_q_[q]);
+        break;
+      }
+      v = u;
+    }
+    // Second pass: apply.
+    v = Sink();
+    while (true) {
+      const int u = prev_[static_cast<std::size_t>(v)];
+      if (v == Sink()) {
+        sink_flow_[static_cast<std::size_t>(u) - nq_] += push;
+      } else if (static_cast<std::size_t>(v) < nq_ && u >= 0) {
+        AddFlow(static_cast<std::size_t>(v), static_cast<std::size_t>(u) - nq_, -push);
+      } else if (static_cast<std::size_t>(v) >= nq_ && u >= 0 &&
+                 static_cast<std::size_t>(u) < nq_) {
+        AddFlow(static_cast<std::size_t>(u), static_cast<std::size_t>(v) - nq_, push);
+      }
+      if (u < 0) {
+        used_q_[static_cast<std::size_t>(v)] += push;
+        break;
+      }
+      v = u;
+    }
+    return push;
+  }
+
+  void UpdatePotentials(double d) {
+    for (int u : touched_) {
+      const double delta = d - alpha_[static_cast<std::size_t>(u)];
+      if (delta <= 0.0) continue;
+      if (static_cast<std::size_t>(u) < nq_) {
+        tau_q_[static_cast<std::size_t>(u)] += delta;
+      } else if (static_cast<std::size_t>(u) < nq_ + np_) {
+        tau_p_[static_cast<std::size_t>(u) - nq_] += delta;
+      }
+    }
+  }
+
+  std::int64_t FlowUnits(std::size_t q, std::size_t p) const {
+    for (const auto& f : flows_[p]) {
+      if (static_cast<std::size_t>(f.provider) == q) return f.units;
+    }
+    return 0;
+  }
+
+  void AddFlow(std::size_t q, std::size_t p, std::int64_t delta) {
+    auto& list = flows_[p];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (static_cast<std::size_t>(list[i].provider) == q) {
+        list[i].units += delta;
+        assert(list[i].units >= 0);
+        if (list[i].units == 0) {
+          list[i] = list.back();
+          list.pop_back();
+        }
+        return;
+      }
+    }
+    assert(delta > 0);
+    list.push_back(FlowRec{static_cast<int>(q), delta});
+  }
+
+  void ExtractMatching(Matching* matching) const {
+    for (std::size_t p = 0; p < np_; ++p) {
+      for (const auto& f : flows_[p]) {
+        matching->Add(f.provider, static_cast<std::int32_t>(p),
+                      static_cast<std::int32_t>(f.units),
+                      Distance(problem_.providers[static_cast<std::size_t>(f.provider)].pos,
+                               problem_.customers[p]));
+      }
+    }
+  }
+
+  struct FlowRec {
+    int provider;
+    std::int64_t units;
+  };
+
+  const Problem& problem_;
+  std::size_t nq_;
+  std::size_t np_;
+  bool unit_customers_;
+  std::vector<double> tau_q_;
+  std::vector<double> tau_p_;
+  std::vector<std::int64_t> used_q_;
+  std::vector<std::int64_t> sink_flow_;
+  std::vector<std::vector<FlowRec>> flows_;  // customer -> providers serving it
+  std::vector<double> alpha_;
+  std::vector<int> prev_;
+  IndexedHeap heap_;
+  std::vector<int> touched_;
+};
+
+}  // namespace
+
+SspaResult SolveSspa(const Problem& problem) { return DenseSspa(problem).Run(); }
+
+}  // namespace cca

@@ -1,0 +1,33 @@
+// SSPA: the Successive Shortest Path Algorithm on the complete bipartite
+// CCA flow graph (paper Algorithm 1, Section 2.2).
+//
+// This is the main-memory baseline the incremental algorithms are compared
+// against (paper Figure 8). The implementation keeps node potentials with
+// the fixed-source convention (DESIGN.md Section 3.1) and relaxes the
+// conceptual |Q| x |P| edge set on the fly instead of materialising it; the
+// `conceptual_edges` metric reports the full graph size that a literal
+// implementation would allocate.
+#ifndef CCA_FLOW_SSPA_H_
+#define CCA_FLOW_SSPA_H_
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "core/matching.h"
+#include "core/problem.h"
+
+namespace cca {
+
+struct SspaResult {
+  Matching matching;
+  Metrics metrics;
+  std::uint64_t conceptual_edges = 0;  // |Q| * |P|
+};
+
+// Computes the optimal CCA matching with plain SSPA. Supports weighted
+// customers (used by approximate concise matching tests).
+SspaResult SolveSspa(const Problem& problem);
+
+}  // namespace cca
+
+#endif  // CCA_FLOW_SSPA_H_

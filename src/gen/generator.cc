@@ -1,0 +1,132 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cca {
+namespace {
+
+// Samples an edge index with probability proportional to edge length using
+// a prefix-sum table.
+class EdgeSampler {
+ public:
+  explicit EdgeSampler(const RoadNetwork& net) {
+    prefix_.reserve(net.edges.size());
+    double total = 0.0;
+    for (const auto& e : net.edges) {
+      total += e.length;
+      prefix_.push_back(total);
+    }
+  }
+
+  int Sample(Rng* rng) const {
+    const double x = rng->NextDouble() * prefix_.back();
+    const auto it = std::lower_bound(prefix_.begin(), prefix_.end(), x);
+    return static_cast<int>(it - prefix_.begin());
+  }
+
+ private:
+  std::vector<double> prefix_;
+};
+
+}  // namespace
+
+Rect DefaultWorld() { return Rect{{0.0, 0.0}, {1000.0, 1000.0}}; }
+
+RoadNetwork DefaultNetwork(std::uint64_t seed) {
+  return RoadNetwork::MakeGrid(36, 36, DefaultWorld(), seed);
+}
+
+std::vector<Point> GeneratePoints(const RoadNetwork& net, const DatasetSpec& spec) {
+  assert(!net.edges.empty());
+  Rng rng(spec.seed);
+  EdgeSampler sampler(net);
+  std::vector<Point> points;
+  points.reserve(spec.count);
+
+  const double sigma = spec.cluster_sigma * net.world.Diagonal();
+
+  // Pick cluster centres on the network (dense city quarters). A separate
+  // generator keeps centres independent of the per-point stream so that
+  // datasets can share hotspots via cluster_seed.
+  std::vector<Point> centres;
+  if (spec.distribution == PointDistribution::kClustered) {
+    Rng centre_rng(spec.cluster_seed != 0 ? spec.cluster_seed : spec.seed);
+    for (int c = 0; c < spec.clusters; ++c) {
+      const int e = sampler.Sample(&centre_rng);
+      centres.push_back(net.PointOnEdge(e, centre_rng.NextDouble()));
+    }
+    // Per cluster, collect the edges within 3 sigma of its centre so that
+    // cluster points stay on the network near the centre.
+  }
+  std::vector<std::vector<int>> cluster_edges(centres.size());
+  for (std::size_t c = 0; c < centres.size(); ++c) {
+    const double radius = 3.0 * sigma;
+    for (std::size_t e = 0; e < net.edges.size(); ++e) {
+      const Point mid = net.PointOnEdge(static_cast<int>(e), 0.5);
+      if (Distance(mid, centres[c]) <= radius) {
+        cluster_edges[c].push_back(static_cast<int>(e));
+      }
+    }
+    if (cluster_edges[c].empty()) {
+      // Degenerate sigma: fall back to the centre's own edge neighbourhood.
+      cluster_edges[c].push_back(sampler.Sample(&rng));
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const bool clustered = spec.distribution == PointDistribution::kClustered &&
+                           rng.NextDouble() < spec.cluster_fraction;
+    if (!clustered) {
+      const int e = sampler.Sample(&rng);
+      points.push_back(net.PointOnEdge(e, rng.NextDouble()));
+      continue;
+    }
+    const auto c = static_cast<std::size_t>(rng.NextBelow(centres.size()));
+    // Gaussian falloff around the centre: rejection-sample a position on a
+    // nearby edge biased toward the centre.
+    const auto& edges = cluster_edges[c];
+    for (int attempt = 0;; ++attempt) {
+      const int e = edges[static_cast<std::size_t>(rng.NextBelow(edges.size()))];
+      const Point cand = net.PointOnEdge(e, rng.NextDouble());
+      const double d = Distance(cand, centres[c]);
+      const double accept = std::exp(-(d * d) / (2.0 * sigma * sigma));
+      if (rng.NextDouble() < accept || attempt > 32) {
+        points.push_back(cand);
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<std::int32_t> FixedCapacities(std::size_t n, std::int32_t k) {
+  return std::vector<std::int32_t>(n, k);
+}
+
+std::vector<std::int32_t> MixedCapacities(std::size_t n, std::int32_t lo, std::int32_t hi,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> caps(n);
+  for (auto& k : caps) k = static_cast<std::int32_t>(rng.UniformInt(lo, hi));
+  return caps;
+}
+
+Problem MakeProblem(const RoadNetwork& net, const DatasetSpec& provider_spec,
+                    const DatasetSpec& customer_spec,
+                    const std::vector<std::int32_t>& capacities) {
+  assert(capacities.size() == provider_spec.count);
+  Problem problem;
+  const auto provider_points = GeneratePoints(net, provider_spec);
+  problem.providers.reserve(provider_points.size());
+  for (std::size_t i = 0; i < provider_points.size(); ++i) {
+    problem.providers.push_back(Provider{provider_points[i], capacities[i]});
+  }
+  problem.customers = GeneratePoints(net, customer_spec);
+  return problem;
+}
+
+}  // namespace cca

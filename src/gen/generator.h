@@ -1,0 +1,56 @@
+// Workload generation matching the paper's evaluation setup (Section 5.1):
+// points on a road network, either clustered (80% of the points in 10
+// dense clusters, the rest uniform on the network) or uniform; the world
+// is [0, 1000]^2; capacities are fixed or drawn from a range.
+#ifndef CCA_GEN_GENERATOR_H_
+#define CCA_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "gen/road_network.h"
+
+namespace cca {
+
+enum class PointDistribution {
+  kClustered,  // "C": 80% in 10 dense clusters + 20% uniform (paper default)
+  kUniform,    // "U": uniform over the network
+};
+
+struct DatasetSpec {
+  std::size_t count = 0;
+  PointDistribution distribution = PointDistribution::kClustered;
+  std::uint64_t seed = 1;
+  int clusters = 10;
+  double cluster_fraction = 0.8;
+  // Cluster spread as a fraction of the world diagonal.
+  double cluster_sigma = 0.03;
+  // Seed for the cluster *centres*. 0 derives them from `seed`. Two specs
+  // sharing a non-zero cluster_seed place their clusters on the same
+  // hotspots (one "city"), which is what makes clustered-vs-clustered
+  // inputs behave like similarly-distributed data (paper Figure 13/18).
+  std::uint64_t cluster_seed = 0;
+};
+
+// The default evaluation world.
+Rect DefaultWorld();
+
+// A default road network on DefaultWorld() (deterministic per seed).
+RoadNetwork DefaultNetwork(std::uint64_t seed = 42);
+
+// Points on network edges, per `spec`.
+std::vector<Point> GeneratePoints(const RoadNetwork& net, const DatasetSpec& spec);
+
+// Capacity vectors.
+std::vector<std::int32_t> FixedCapacities(std::size_t n, std::int32_t k);
+std::vector<std::int32_t> MixedCapacities(std::size_t n, std::int32_t lo, std::int32_t hi,
+                                          std::uint64_t seed);
+
+// Convenience: builds a complete Problem from provider/customer specs.
+Problem MakeProblem(const RoadNetwork& net, const DatasetSpec& provider_spec,
+                    const DatasetSpec& customer_spec, const std::vector<std::int32_t>& capacities);
+
+}  // namespace cca
+
+#endif  // CCA_GEN_GENERATOR_H_

@@ -1,0 +1,147 @@
+#include "gen/road_network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace cca {
+namespace {
+
+// Disjoint-set over junction ids, used to keep the network connected while
+// removing streets.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+RoadNetwork RoadNetwork::MakeGrid(int cols, int rows, const Rect& world, std::uint64_t seed,
+                                  double removal_prob, double diagonal_prob) {
+  assert(cols >= 2 && rows >= 2);
+  RoadNetwork net;
+  net.world = world;
+  Rng rng(seed);
+
+  const double cell_w = world.width() / (cols - 1);
+  const double cell_h = world.height() / (rows - 1);
+  const double jitter = 0.3;  // fraction of a cell a junction may wander
+
+  net.junctions.reserve(static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double jx = (c == 0 || c == cols - 1) ? 0.0 : rng.Uniform(-jitter, jitter) * cell_w;
+      const double jy = (r == 0 || r == rows - 1) ? 0.0 : rng.Uniform(-jitter, jitter) * cell_h;
+      net.junctions.push_back(Point{world.lo.x + c * cell_w + jx, world.lo.y + r * cell_h + jy});
+    }
+  }
+  auto id = [cols](int c, int r) { return r * cols + c; };
+
+  // Candidate streets: grid neighbours plus occasional diagonals.
+  struct Cand {
+    int a, b;
+    bool removable;
+  };
+  std::vector<Cand> cands;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) cands.push_back(Cand{id(c, r), id(c + 1, r), true});
+      if (r + 1 < rows) cands.push_back(Cand{id(c, r), id(c, r + 1), true});
+      if (c + 1 < cols && r + 1 < rows && rng.NextDouble() < diagonal_prob) {
+        const bool flip = rng.NextDouble() < 0.5;
+        cands.push_back(flip ? Cand{id(c, r), id(c + 1, r + 1), false}
+                             : Cand{id(c + 1, r), id(c, r + 1), false});
+      }
+    }
+  }
+
+  // Tentatively remove a fraction of the grid streets, then re-add any
+  // removal that would disconnect the network.
+  std::vector<char> keep(cands.size(), 1);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].removable && rng.NextDouble() < removal_prob) keep[i] = 0;
+  }
+  UnionFind uf(net.junctions.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (keep[i]) uf.Union(cands[i].a, cands[i].b);
+  }
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!keep[i] && uf.Union(cands[i].a, cands[i].b)) keep[i] = 1;
+  }
+
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!keep[i]) continue;
+    const double len = Distance(net.junctions[static_cast<std::size_t>(cands[i].a)],
+                                net.junctions[static_cast<std::size_t>(cands[i].b)]);
+    net.edges.push_back(Edge{cands[i].a, cands[i].b, len});
+  }
+  return net;
+}
+
+Point RoadNetwork::PointOnEdge(int e, double t) const {
+  const Edge& edge = edges[static_cast<std::size_t>(e)];
+  const Point& a = junctions[static_cast<std::size_t>(edge.a)];
+  const Point& b = junctions[static_cast<std::size_t>(edge.b)];
+  return Point{a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+double RoadNetwork::TotalLength() const {
+  double total = 0.0;
+  for (const auto& e : edges) total += e.length;
+  return total;
+}
+
+std::vector<std::vector<int>> RoadNetwork::BuildAdjacency() const {
+  std::vector<std::vector<int>> adj(junctions.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adj[static_cast<std::size_t>(edges[i].a)].push_back(static_cast<int>(i));
+    adj[static_cast<std::size_t>(edges[i].b)].push_back(static_cast<int>(i));
+  }
+  return adj;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (junctions.empty()) return true;
+  const auto adj = BuildAdjacency();
+  std::vector<char> seen(junctions.size(), 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int eid : adj[static_cast<std::size_t>(u)]) {
+      const Edge& e = edges[static_cast<std::size_t>(eid)];
+      const int v = (e.a == u) ? e.b : e.a;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == junctions.size();
+}
+
+}  // namespace cca

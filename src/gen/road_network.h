@@ -1,0 +1,52 @@
+// Synthetic road network used by the workload generator.
+//
+// The paper generates its datasets on the San Francisco road map with the
+// Brinkhoff generator: every point lies on a network edge, 80% of the
+// points concentrate in 10 dense clusters. We cannot ship that proprietary
+// map, so we synthesise a comparable network: a jittered grid of junctions
+// with mostly-rectilinear streets, a few diagonal connectors, and random
+// street removals so the network is irregular but connected. See DESIGN.md
+// Section 5 for the substitution rationale.
+#ifndef CCA_GEN_ROAD_NETWORK_H_
+#define CCA_GEN_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace cca {
+
+struct RoadNetwork {
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    double length = 0.0;
+  };
+
+  std::vector<Point> junctions;
+  std::vector<Edge> edges;
+  Rect world;
+
+  // Synthesises a `cols` x `rows` jittered grid network inside `world`.
+  // `removal_prob` drops that fraction of grid streets (kept connected),
+  // `diagonal_prob` adds diagonal connectors per cell.
+  static RoadNetwork MakeGrid(int cols, int rows, const Rect& world, std::uint64_t seed,
+                              double removal_prob = 0.15, double diagonal_prob = 0.2);
+
+  // Point at parameter t in [0, 1] along edge `e`.
+  Point PointOnEdge(int e, double t) const;
+
+  double TotalLength() const;
+
+  // Adjacency as edge indices per junction (built on demand by callers).
+  std::vector<std::vector<int>> BuildAdjacency() const;
+
+  // True if every junction is reachable from junction 0.
+  bool IsConnected() const;
+};
+
+}  // namespace cca
+
+#endif  // CCA_GEN_ROAD_NETWORK_H_

@@ -1,0 +1,35 @@
+// 2-D point type and distance kernels.
+//
+// The paper works in Euclidean 2-space with datasets normalised to
+// [0, 1000]^2; all algorithms here extend to higher dimensionality, but the
+// reproduction fixes d=2 like the evaluation does.
+#ifndef CCA_GEO_POINT_H_
+#define CCA_GEO_POINT_H_
+
+#include <cmath>
+
+namespace cca {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+// Squared Euclidean distance; preferred in comparisons to avoid sqrt.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+// Euclidean distance, the edge length `dist(q, p)` of the paper.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace cca
+
+#endif  // CCA_GEO_POINT_H_

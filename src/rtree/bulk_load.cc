@@ -1,0 +1,116 @@
+// Sort-Tile-Recursive (STR) bulk loading.
+//
+// The evaluation datasets (up to 200K customers) are loaded once and then
+// queried; STR produces a well-packed tree with tight MBRs at a chosen fill
+// factor, which matches the static-index assumption of the paper.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace cca {
+namespace {
+
+// Splits `items` into runs of `run_size`, writes one built node per run via
+// `emit`. Used for both the leaf level and the internal levels.
+template <typename Item, typename Emit>
+void PackRuns(std::vector<Item>* items, std::size_t run_size, Emit emit) {
+  for (std::size_t begin = 0; begin < items->size(); begin += run_size) {
+    const std::size_t end = std::min(items->size(), begin + run_size);
+    emit(items->data() + begin, end - begin);
+  }
+}
+
+// STR tiling: sort by x, cut into vertical slices, sort each slice by y.
+template <typename Item, typename GetPoint>
+void StrSort(std::vector<Item>* items, std::size_t capacity, GetPoint point_of) {
+  const std::size_t n = items->size();
+  if (n == 0) return;
+  const auto node_count =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) / static_cast<double>(capacity)));
+  const auto slices =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(node_count))));
+  const std::size_t slice_size = slices == 0 ? n : capacity * static_cast<std::size_t>(std::ceil(
+                                                       static_cast<double>(node_count) /
+                                                       static_cast<double>(slices)));
+  std::sort(items->begin(), items->end(), [&](const Item& a, const Item& b) {
+    const Point pa = point_of(a);
+    const Point pb = point_of(b);
+    return pa.x < pb.x || (pa.x == pb.x && pa.y < pb.y);
+  });
+  for (std::size_t begin = 0; begin < n; begin += slice_size) {
+    const std::size_t end = std::min(n, begin + slice_size);
+    std::sort(items->begin() + static_cast<std::ptrdiff_t>(begin),
+              items->begin() + static_cast<std::ptrdiff_t>(end),
+              [&](const Item& a, const Item& b) {
+                const Point pa = point_of(a);
+                const Point pb = point_of(b);
+                return pa.y < pb.y || (pa.y == pb.y && pa.x < pb.x);
+              });
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<RTree> RTree::BulkLoad(const std::vector<Point>& points) {
+  return BulkLoad(points, Options{});
+}
+
+std::unique_ptr<RTree> RTree::BulkLoad(const std::vector<Point>& points,
+                                       const Options& options) {
+  auto tree = std::make_unique<RTree>(options);
+  if (points.empty()) return tree;
+
+  const auto leaf_cap = static_cast<std::size_t>(std::max(
+      2.0, std::floor(options.bulk_fill *
+                      static_cast<double>(RTreeNode::LeafCapacity(options.page_size)))));
+  const auto internal_cap = static_cast<std::size_t>(std::max(
+      2.0, std::floor(options.bulk_fill *
+                      static_cast<double>(RTreeNode::InternalCapacity(options.page_size)))));
+
+  std::vector<LeafEntry> leaf_items;
+  leaf_items.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    leaf_items.push_back(LeafEntry{points[i], static_cast<std::uint32_t>(i)});
+  }
+  StrSort(&leaf_items, leaf_cap, [](const LeafEntry& e) { return e.pos; });
+
+  // Build the leaf level.
+  std::vector<InternalEntry> level;
+  PackRuns(&leaf_items, leaf_cap, [&](const LeafEntry* begin, std::size_t n) {
+    RTreeNode node;
+    node.is_leaf = true;
+    node.leaf_entries.assign(begin, begin + n);
+    const PageId page = tree->file_.Allocate();
+    tree->WriteNode(page, node);
+    level.push_back(
+        InternalEntry{node.ComputeMbr(), page, static_cast<std::uint32_t>(node.TotalCount())});
+  });
+  tree->height_ = 1;
+
+  // Build upper levels until a single root remains.
+  while (level.size() > 1) {
+    StrSort(&level, internal_cap, [](const InternalEntry& e) { return e.mbr.Center(); });
+    std::vector<InternalEntry> next;
+    PackRuns(&level, internal_cap, [&](const InternalEntry* begin, std::size_t n) {
+      RTreeNode node;
+      node.is_leaf = false;
+      node.entries.assign(begin, begin + n);
+      const PageId page = tree->file_.Allocate();
+      tree->WriteNode(page, node);
+      next.push_back(
+          InternalEntry{node.ComputeMbr(), page, static_cast<std::uint32_t>(node.TotalCount())});
+    });
+    level = std::move(next);
+    ++tree->height_;
+  }
+
+  tree->root_ = level.front().child;
+  tree->size_ = points.size();
+  tree->ResetCounters();
+  return tree;
+}
+
+}  // namespace cca

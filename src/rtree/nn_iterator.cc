@@ -1,0 +1,43 @@
+#include "rtree/nn_iterator.h"
+
+#include <limits>
+
+namespace cca {
+
+NnIterator::NnIterator(RTree* tree, const Point& query) : tree_(tree), query_(query) {
+  if (tree_->root() != kInvalidPage) {
+    heap_.push(Item{0.0, false, tree_->root(), 0, Point{}});
+  }
+}
+
+void NnIterator::Refine() {
+  while (!heap_.empty() && !heap_.top().is_point) {
+    const Item item = heap_.top();
+    heap_.pop();
+    const RTreeNode node = tree_->ReadNode(item.page);
+    if (node.is_leaf) {
+      for (const auto& e : node.leaf_entries) {
+        heap_.push(Item{Distance(query_, e.pos), true, kInvalidPage, e.oid, e.pos});
+      }
+    } else {
+      for (const auto& e : node.entries) {
+        heap_.push(Item{MinDist(query_, e.mbr), false, e.child, 0, Point{}});
+      }
+    }
+  }
+}
+
+std::optional<RTree::Hit> NnIterator::Next() {
+  Refine();
+  if (heap_.empty()) return std::nullopt;
+  const Item item = heap_.top();
+  heap_.pop();
+  return RTree::Hit{item.oid, item.pos, item.dist};
+}
+
+double NnIterator::PeekDistance() {
+  Refine();
+  return heap_.empty() ? std::numeric_limits<double>::infinity() : heap_.top().dist;
+}
+
+}  // namespace cca

@@ -1,0 +1,54 @@
+// Incremental nearest-neighbour iterator (distance browsing).
+//
+// Implements the best-first algorithm of Hjaltason & Samet over the
+// R-tree: a min-heap holds both R-tree entries (keyed by mindist to the
+// query) and points (keyed by exact distance); popping a point yields the
+// next NN. NIA and IDA use one iterator per service provider to discover
+// flow-graph edges one at a time (paper Sections 3.2, 3.3).
+#ifndef CCA_RTREE_NN_ITERATOR_H_
+#define CCA_RTREE_NN_ITERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "geo/point.h"
+#include "rtree/rtree.h"
+
+namespace cca {
+
+class NnIterator {
+ public:
+  NnIterator(RTree* tree, const Point& query);
+
+  // Returns the next nearest point, or nullopt when P is exhausted.
+  std::optional<RTree::Hit> Next();
+
+  // Distance of the next point to be returned without consuming it
+  // (infinity when exhausted). May read R-tree nodes to find out.
+  double PeekDistance();
+
+ private:
+  struct Item {
+    double dist;
+    bool is_point;
+    PageId page;
+    std::uint32_t oid;
+    Point pos;
+  };
+  struct Cmp {
+    bool operator()(const Item& a, const Item& b) const { return a.dist > b.dist; }
+  };
+
+  // Expands entry-items until the heap top is a point (or the heap drains).
+  void Refine();
+
+  RTree* tree_;
+  Point query_;
+  std::priority_queue<Item, std::vector<Item>, Cmp> heap_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_RTREE_NN_ITERATOR_H_

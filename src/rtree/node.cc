@@ -1,0 +1,119 @@
+#include "rtree/node.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cca {
+namespace {
+
+// Page header: [u8 is_leaf][u8 reserved][u16 count][u32 reserved]
+constexpr std::uint32_t kHeaderBytes = 8;
+constexpr std::uint32_t kLeafEntryBytes = 24;      // 2*8 + 4 + 4 pad
+constexpr std::uint32_t kInternalEntryBytes = 40;  // 4*8 + 4 + 4
+
+template <typename T>
+void Put(std::uint8_t*& cursor, const T& value) {
+  std::memcpy(cursor, &value, sizeof(T));
+  cursor += sizeof(T);
+}
+
+template <typename T>
+T Get(const std::uint8_t*& cursor) {
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+Rect RTreeNode::ComputeMbr() const {
+  Rect mbr;
+  if (is_leaf) {
+    for (const auto& e : leaf_entries) mbr.Expand(e.pos);
+  } else {
+    for (const auto& e : entries) mbr.Expand(e.mbr);
+  }
+  return mbr;
+}
+
+std::uint64_t RTreeNode::TotalCount() const {
+  if (is_leaf) return leaf_entries.size();
+  std::uint64_t total = 0;
+  for (const auto& e : entries) total += e.count;
+  return total;
+}
+
+std::uint32_t RTreeNode::LeafCapacity(std::uint32_t page_size) {
+  assert(page_size > kHeaderBytes + kLeafEntryBytes);
+  return (page_size - kHeaderBytes) / kLeafEntryBytes;
+}
+
+std::uint32_t RTreeNode::InternalCapacity(std::uint32_t page_size) {
+  assert(page_size > kHeaderBytes + kInternalEntryBytes);
+  return (page_size - kHeaderBytes) / kInternalEntryBytes;
+}
+
+void RTreeNode::Serialize(std::uint8_t* buf, std::uint32_t page_size) const {
+  std::memset(buf, 0, page_size);
+  std::uint8_t* cursor = buf;
+  Put<std::uint8_t>(cursor, is_leaf ? 1 : 0);
+  Put<std::uint8_t>(cursor, 0);
+  Put<std::uint16_t>(cursor, static_cast<std::uint16_t>(size()));
+  Put<std::uint32_t>(cursor, 0);
+  if (is_leaf) {
+    assert(leaf_entries.size() <= LeafCapacity(page_size));
+    for (const auto& e : leaf_entries) {
+      Put<double>(cursor, e.pos.x);
+      Put<double>(cursor, e.pos.y);
+      Put<std::uint32_t>(cursor, e.oid);
+      Put<std::uint32_t>(cursor, 0);
+    }
+  } else {
+    assert(entries.size() <= InternalCapacity(page_size));
+    for (const auto& e : entries) {
+      Put<double>(cursor, e.mbr.lo.x);
+      Put<double>(cursor, e.mbr.lo.y);
+      Put<double>(cursor, e.mbr.hi.x);
+      Put<double>(cursor, e.mbr.hi.y);
+      Put<std::uint32_t>(cursor, e.child);
+      Put<std::uint32_t>(cursor, e.count);
+    }
+  }
+}
+
+RTreeNode RTreeNode::Deserialize(const std::uint8_t* buf, std::uint32_t page_size) {
+  (void)page_size;
+  RTreeNode node;
+  const std::uint8_t* cursor = buf;
+  node.is_leaf = Get<std::uint8_t>(cursor) != 0;
+  Get<std::uint8_t>(cursor);
+  const std::uint16_t count = Get<std::uint16_t>(cursor);
+  Get<std::uint32_t>(cursor);
+  if (node.is_leaf) {
+    node.leaf_entries.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      LeafEntry e;
+      e.pos.x = Get<double>(cursor);
+      e.pos.y = Get<double>(cursor);
+      e.oid = Get<std::uint32_t>(cursor);
+      Get<std::uint32_t>(cursor);
+      node.leaf_entries.push_back(e);
+    }
+  } else {
+    node.entries.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      InternalEntry e;
+      e.mbr.lo.x = Get<double>(cursor);
+      e.mbr.lo.y = Get<double>(cursor);
+      e.mbr.hi.x = Get<double>(cursor);
+      e.mbr.hi.y = Get<double>(cursor);
+      e.child = Get<std::uint32_t>(cursor);
+      e.count = Get<std::uint32_t>(cursor);
+      node.entries.push_back(e);
+    }
+  }
+  return node;
+}
+
+}  // namespace cca

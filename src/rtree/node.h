@@ -1,0 +1,65 @@
+// R-tree node layout and (de)serialisation.
+//
+// Nodes are serialised into fixed-size pages (default 1 KB, the paper's
+// setting). Two entry kinds exist:
+//   * leaf entries:     point (2 doubles) + object id            (24 bytes)
+//   * internal entries: MBR (4 doubles) + child page + aggregate (40 bytes)
+// The aggregate field stores the number of points in the child's subtree
+// ("aggregate R-tree"), which the CA partitioning (paper Section 4.2) needs
+// to weight customer representatives without descending below delta-sized
+// entries. See DESIGN.md Section 5 for the substitution note.
+#ifndef CCA_RTREE_NODE_H_
+#define CCA_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "storage/page_file.h"
+
+namespace cca {
+
+struct LeafEntry {
+  Point pos;
+  std::uint32_t oid = 0;  // customer index in P
+};
+
+struct InternalEntry {
+  Rect mbr;
+  PageId child = kInvalidPage;
+  std::uint32_t count = 0;  // number of points under `child`
+};
+
+// In-memory representation of one R-tree node. Nodes are read from /
+// written to pages via Serialize/Deserialize; query code works on this
+// deserialised form.
+struct RTreeNode {
+  bool is_leaf = true;
+  std::vector<LeafEntry> leaf_entries;
+  std::vector<InternalEntry> entries;
+
+  std::size_t size() const { return is_leaf ? leaf_entries.size() : entries.size(); }
+
+  // Tight MBR over all entries.
+  Rect ComputeMbr() const;
+
+  // Total number of points under this node (leaf count or sum of
+  // aggregates).
+  std::uint64_t TotalCount() const;
+
+  // Maximum entries that fit a page of `page_size` bytes.
+  static std::uint32_t LeafCapacity(std::uint32_t page_size);
+  static std::uint32_t InternalCapacity(std::uint32_t page_size);
+
+  // Writes this node into `buf` (page_size bytes, zero-padded). The node
+  // must respect the capacity for its kind.
+  void Serialize(std::uint8_t* buf, std::uint32_t page_size) const;
+
+  // Parses a node out of a page image.
+  static RTreeNode Deserialize(const std::uint8_t* buf, std::uint32_t page_size);
+};
+
+}  // namespace cca
+
+#endif  // CCA_RTREE_NODE_H_

@@ -1,0 +1,95 @@
+#include "rtree/partition_scan.h"
+
+#include <cassert>
+
+namespace cca {
+namespace {
+
+// Recursively halves `rect` on its longest dimension until the diagonal
+// fits delta, then emits one BaseEntry per non-empty fragment.
+void SplitFragment(const Rect& rect, const std::vector<RTree::Hit>& points, double delta,
+                   std::vector<BaseEntry>* out) {
+  if (points.empty()) return;
+  // Tighten to the actual points first; a sparse fragment may already fit.
+  Rect tight;
+  for (const auto& h : points) tight.Expand(h.pos);
+  if (tight.Diagonal() <= delta) {
+    BaseEntry entry;
+    entry.rect = tight;
+    entry.count = static_cast<std::uint32_t>(points.size());
+    entry.points = points;
+    out->push_back(std::move(entry));
+    return;
+  }
+  const bool split_x = rect.width() >= rect.height();
+  const double mid = split_x ? (rect.lo.x + rect.hi.x) * 0.5 : (rect.lo.y + rect.hi.y) * 0.5;
+  Rect left = rect;
+  Rect right = rect;
+  if (split_x) {
+    left.hi.x = mid;
+    right.lo.x = mid;
+  } else {
+    left.hi.y = mid;
+    right.lo.y = mid;
+  }
+  std::vector<RTree::Hit> left_pts, right_pts;
+  for (const auto& h : points) {
+    const bool in_left = split_x ? h.pos.x < mid : h.pos.y < mid;
+    (in_left ? left_pts : right_pts).push_back(h);
+  }
+  SplitFragment(left, left_pts, delta, out);
+  SplitFragment(right, right_pts, delta, out);
+}
+
+void Descend(RTree* tree, PageId page, const Rect& mbr, std::uint32_t count, double delta,
+             std::vector<BaseEntry>* out) {
+  if (mbr.Diagonal() <= delta) {
+    BaseEntry entry;
+    entry.rect = mbr;
+    entry.count = count;
+    entry.subtree = page;
+    out->push_back(std::move(entry));
+    return;
+  }
+  const RTreeNode node = tree->ReadNode(page);
+  if (node.is_leaf) {
+    std::vector<RTree::Hit> points;
+    points.reserve(node.leaf_entries.size());
+    for (const auto& e : node.leaf_entries) points.push_back(RTree::Hit{e.oid, e.pos, 0.0});
+    SplitFragment(mbr, points, delta, out);
+    return;
+  }
+  for (const auto& e : node.entries) {
+    Descend(tree, e.child, e.mbr, e.count, delta, out);
+  }
+}
+
+void CollectSubtree(RTree* tree, PageId page, std::vector<RTree::Hit>* out) {
+  const RTreeNode node = tree->ReadNode(page);
+  if (node.is_leaf) {
+    for (const auto& e : node.leaf_entries) out->push_back(RTree::Hit{e.oid, e.pos, 0.0});
+    return;
+  }
+  for (const auto& e : node.entries) CollectSubtree(tree, e.child, out);
+}
+
+}  // namespace
+
+std::vector<BaseEntry> DeltaPartition(RTree* tree, double delta) {
+  std::vector<BaseEntry> out;
+  if (tree->root() == kInvalidPage) return out;
+  const Rect root_mbr = tree->bounding_box();
+  Descend(tree, tree->root(), root_mbr, static_cast<std::uint32_t>(tree->size()), delta, &out);
+  return out;
+}
+
+void CollectPoints(RTree* tree, const BaseEntry& entry, std::vector<RTree::Hit>* out) {
+  out->clear();
+  if (entry.subtree == kInvalidPage) {
+    *out = entry.points;
+    return;
+  }
+  CollectSubtree(tree, entry.subtree, out);
+}
+
+}  // namespace cca

@@ -1,0 +1,41 @@
+// Delta-bounded R-tree partition descent for Customer Approximation (CA),
+// paper Section 4.2.
+//
+// Starting from the root, entries whose MBR diagonal is <= delta become
+// customer groups directly (without descending into them). Larger entries
+// are descended into. If a *leaf* still exceeds delta, its MBR is
+// conceptually split in half along the longest dimension, recursively,
+// until every fragment's diagonal fits; fragment contents come from the
+// leaf's actual points (the leaf page is read, and that I/O is counted).
+#ifndef CCA_RTREE_PARTITION_SCAN_H_
+#define CCA_RTREE_PARTITION_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/rect.h"
+#include "rtree/rtree.h"
+
+namespace cca {
+
+// One delta-bounded group of customers produced by the descent.
+struct BaseEntry {
+  Rect rect;               // MBR of the group (diagonal <= delta)
+  std::uint32_t count = 0; // number of customer points inside
+  // Subtree root when the group is an R-tree entry; kInvalidPage when the
+  // group is a conceptual leaf fragment, in which case `points` is filled.
+  PageId subtree = kInvalidPage;
+  std::vector<RTree::Hit> points;
+};
+
+// Performs the descent and returns groups covering the whole dataset, each
+// with diagonal <= delta and count >= 1.
+std::vector<BaseEntry> DeltaPartition(RTree* tree, double delta);
+
+// Materialises the customer points of `entry` (reads its subtree when the
+// group is an R-tree entry; returns the stored fragment points otherwise).
+void CollectPoints(RTree* tree, const BaseEntry& entry, std::vector<RTree::Hit>* out);
+
+}  // namespace cca
+
+#endif  // CCA_RTREE_PARTITION_SCAN_H_

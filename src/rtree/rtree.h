@@ -1,0 +1,168 @@
+// Disk-based aggregate R-tree over 2-D points.
+//
+// This is the spatial access method assumed by the paper for the customer
+// set P (Section 2.3): a Guttman-style R-tree stored in fixed-size pages
+// behind an LRU buffer. Supported operations:
+//   * dynamic insertion (quadratic split),
+//   * STR bulk loading (see bulk_load.h),
+//   * circular range search and annular range search (RIA),
+//   * best-first k-NN search [Hjaltason & Samet],
+//   * incremental NN iteration (nn_iterator.h) and grouped incremental
+//     all-NN search (ann_iterator.h, paper Section 3.4.2),
+//   * delta-bounded partition descent for CA (partition_scan.h).
+//
+// Every node access is counted; physical I/O is modelled by the buffer
+// pool (10 ms per fault, paper Section 5.1).
+#ifndef CCA_RTREE_RTREE_H_
+#define CCA_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace cca {
+
+class RTree {
+ public:
+  // Node split strategy for dynamic insertion.
+  enum class SplitPolicy {
+    kQuadratic,   // Guttman's quadratic split (the default)
+    kRStarAxis,   // R*-style: margin-minimal axis, overlap-minimal cut
+  };
+
+  struct Options {
+    std::uint32_t page_size = kDefaultPageSize;
+    // Buffer pool capacity in pages. The experiment harness later resizes
+    // this to 1% of the tree via SetBufferFraction().
+    std::uint32_t buffer_pages = 128;
+    // Target fill factor for STR bulk loading.
+    double bulk_fill = 0.85;
+    // Minimum fill ratio enforced by node splits (Guttman's m).
+    double min_fill = 0.4;
+    // Split strategy. kRStarAxis implements the R*-tree split of Beckmann
+    // et al. (paper Section 2.3 reference [2]) without forced reinsertion.
+    SplitPolicy split_policy = SplitPolicy::kQuadratic;
+  };
+
+  struct Hit {
+    std::uint32_t oid;
+    Point pos;
+    double dist;  // distance to the query point (0 for pure containment scans)
+  };
+
+  RTree();
+  explicit RTree(const Options& options);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // --- construction --------------------------------------------------------
+
+  // Inserts one point with object id `oid` (Guttman ChooseLeaf + quadratic
+  // split). Aggregate counts along the path are maintained.
+  void Insert(const Point& p, std::uint32_t oid);
+
+  // Builds a tree from `points` via Sort-Tile-Recursive bulk loading;
+  // oid of points[i] is i. Defined in bulk_load.cc.
+  static std::unique_ptr<RTree> BulkLoad(const std::vector<Point>& points,
+                                         const Options& options);
+  static std::unique_ptr<RTree> BulkLoad(const std::vector<Point>& points);
+
+  // --- queries -------------------------------------------------------------
+
+  // All points with dist(center, p) <= radius.
+  void RangeSearch(const Point& center, double radius, std::vector<Hit>* out);
+
+  // All points with lo < dist(center, p) <= hi; the annular search RIA uses
+  // to extend T by theta (paper Algorithm 2 line 14). lo < 0 degenerates to
+  // a plain range search.
+  void AnnularRangeSearch(const Point& center, double lo, double hi, std::vector<Hit>* out);
+
+  // The k nearest neighbours of `center` in ascending distance order.
+  void KnnSearch(const Point& center, std::size_t k, std::vector<Hit>* out);
+
+  // --- structure -----------------------------------------------------------
+
+  std::size_t size() const { return size_; }
+  int height() const { return height_; }
+  PageId root() const { return root_; }
+  std::uint32_t page_count() const { return file_.page_count(); }
+  Rect bounding_box();
+
+  const Options& options() const { return options_; }
+
+  // Reads and deserialises a node (counted as one logical node access).
+  RTreeNode ReadNode(PageId id);
+
+  // Serialises `node` into page `id`.
+  void WriteNode(PageId id, const RTreeNode& node);
+  PageId AllocateNode() { return file_.Allocate(); }
+
+  // Sets the buffer pool to max(1, fraction * page_count) pages and clears
+  // it, emulating a cold start with the paper's 1% buffer.
+  void SetBufferFraction(double fraction);
+
+  BufferPool& buffer() { return buffer_; }
+  std::uint64_t node_accesses() const { return node_accesses_; }
+  void ResetCounters();
+
+  // Validates structural invariants (MBR containment, aggregate counts,
+  // uniform leaf depth, capacity bounds). Returns false and fills `error`
+  // on the first violation. Used by tests.
+  bool CheckInvariants(std::string* error);
+
+ private:
+  friend class BulkLoader;
+
+  struct PathStep {
+    PageId page;
+    int entry_index;  // index within the parent of the child we descended to
+  };
+
+  // Descends from the root picking minimal-enlargement children.
+  PageId ChooseLeaf(const Point& p, std::vector<PathStep>* path);
+
+  // Quadratic split of an overflowing node; returns the new sibling.
+  RTreeNode SplitLeaf(RTreeNode* node);
+  RTreeNode SplitInternal(RTreeNode* node);
+
+  // Quadratic seed selection / entry distribution shared by both splits.
+  template <typename Entry, typename RectOf>
+  void QuadraticSplit(std::vector<Entry>* entries, std::vector<Entry>* left,
+                      std::vector<Entry>* right, RectOf rect_of, std::size_t min_fill);
+
+  // R*-style split: pick the axis with the smallest margin sum over all
+  // admissible distributions, then the distribution with the smallest
+  // overlap between the two halves (ties: smaller total area).
+  template <typename Entry, typename RectOf>
+  void RStarAxisSplit(std::vector<Entry>* entries, std::vector<Entry>* left,
+                      std::vector<Entry>* right, RectOf rect_of, std::size_t min_fill);
+
+  template <typename Entry, typename RectOf>
+  void SplitEntries(std::vector<Entry>* entries, std::vector<Entry>* left,
+                    std::vector<Entry>* right, RectOf rect_of, std::size_t min_fill);
+
+  void RecursiveCheck(PageId page, int depth, const Rect& parent_mbr, std::uint64_t parent_count,
+                      bool has_parent, int leaf_depth, bool* ok, std::string* error);
+
+  Options options_;
+  PageFile file_;
+  BufferPool buffer_;
+  PageId root_ = kInvalidPage;
+  int height_ = 0;  // number of levels; 0 = empty, 1 = root is a leaf
+  std::size_t size_ = 0;
+  std::uint64_t node_accesses_ = 0;
+  std::vector<std::uint8_t> scratch_;  // page-size I/O buffer
+};
+
+}  // namespace cca
+
+#endif  // CCA_RTREE_RTREE_H_

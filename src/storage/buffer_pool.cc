@@ -1,0 +1,66 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cca {
+
+BufferPool::BufferPool(PageFile* file, std::uint32_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {}
+
+BufferPool::Frame* BufferPool::Touch(PageId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+BufferPool::Frame* BufferPool::Install(PageId id) {
+  if (capacity_ == 0) return nullptr;
+  while (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{id, std::vector<std::uint8_t>(file_->page_size())});
+  map_[id] = lru_.begin();
+  return &lru_.front();
+}
+
+void BufferPool::ReadPage(PageId id, std::uint8_t* out) {
+  ++stats_.logical_reads;
+  if (Frame* f = Touch(id)) {
+    ++stats_.hits;
+    std::memcpy(out, f->data.data(), file_->page_size());
+    return;
+  }
+  ++stats_.faults;
+  if (Frame* f = Install(id)) {
+    file_->Read(id, f->data.data());
+    std::memcpy(out, f->data.data(), file_->page_size());
+  } else {
+    file_->Read(id, out);
+  }
+}
+
+void BufferPool::WritePage(PageId id, const std::uint8_t* data) {
+  ++stats_.writes;
+  file_->Write(id, data);
+  if (Frame* f = Touch(id)) {
+    std::memcpy(f->data.data(), data, file_->page_size());
+  }
+}
+
+void BufferPool::SetCapacity(std::uint32_t capacity_pages) {
+  capacity_ = capacity_pages;
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace cca

@@ -1,0 +1,78 @@
+// LRU buffer pool over a PageFile.
+//
+// The evaluation uses an LRU buffer sized at 1% of the R-tree (paper
+// Section 5.1); a logical page access that misses the buffer is a *page
+// fault* and is charged 10 ms of simulated I/O time. The pool is
+// write-through: node writes go straight to the PageFile and update the
+// cached copy, so reads after writes always observe fresh data.
+#ifndef CCA_STORAGE_BUFFER_POOL_H_
+#define CCA_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_file.h"
+
+namespace cca {
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t logical_reads = 0;  // every ReadPage call
+    std::uint64_t hits = 0;           // served from the buffer
+    std::uint64_t faults = 0;         // required a physical read
+    std::uint64_t writes = 0;         // WritePage calls (write-through)
+
+    double hit_ratio() const {
+      return logical_reads == 0 ? 0.0
+                                : static_cast<double>(hits) / static_cast<double>(logical_reads);
+    }
+  };
+
+  // `capacity_pages` == 0 disables caching entirely (every read faults).
+  BufferPool(PageFile* file, std::uint32_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Reads a page through the cache into `out` (page_size bytes).
+  void ReadPage(PageId id, std::uint8_t* out);
+
+  // Write-through page update.
+  void WritePage(PageId id, const std::uint8_t* data);
+
+  // Resizes the pool, evicting LRU pages if shrinking.
+  void SetCapacity(std::uint32_t capacity_pages);
+  std::uint32_t capacity() const { return capacity_; }
+
+  // Drops all cached pages (stats are kept).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  PageFile* file() { return file_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    std::vector<std::uint8_t> data;
+  };
+
+  // Moves the frame for `id` to the MRU position; returns nullptr on miss.
+  Frame* Touch(PageId id);
+  // Inserts a frame for `id`, evicting the LRU frame when full.
+  Frame* Install(PageId id);
+
+  PageFile* file_;
+  std::uint32_t capacity_;
+  std::list<Frame> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<Frame>::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_STORAGE_BUFFER_POOL_H_

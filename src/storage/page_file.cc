@@ -1,0 +1,24 @@
+#include "storage/page_file.h"
+
+#include <cassert>
+
+namespace cca {
+
+PageId PageFile::Allocate() {
+  pages_.emplace_back(page_size_, std::uint8_t{0});
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void PageFile::Read(PageId id, std::uint8_t* out) {
+  assert(id < pages_.size());
+  ++physical_reads_;
+  std::memcpy(out, pages_[id].data(), page_size_);
+}
+
+void PageFile::Write(PageId id, const std::uint8_t* data) {
+  assert(id < pages_.size());
+  ++physical_writes_;
+  std::memcpy(pages_[id].data(), data, page_size_);
+}
+
+}  // namespace cca

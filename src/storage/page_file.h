@@ -1,0 +1,58 @@
+// Paged storage simulating the disk that holds the customer R-tree.
+//
+// The paper stores P in an R-tree with 1 KB pages and charges 10 ms per
+// page fault (Section 5.1). `PageFile` is the raw page store; all caching
+// and fault accounting happens in `BufferPool`. The store is memory-backed:
+// the experiments model I/O analytically (like the paper does), so a real
+// file descriptor would only add noise.
+#ifndef CCA_STORAGE_PAGE_FILE_H_
+#define CCA_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cca {
+
+using PageId = std::uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+// Default page size used throughout the evaluation (paper Section 5.1).
+inline constexpr std::uint32_t kDefaultPageSize = 1024;
+
+// A flat array of fixed-size pages with physical read/write counters.
+class PageFile {
+ public:
+  explicit PageFile(std::uint32_t page_size = kDefaultPageSize) : page_size_(page_size) {}
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  std::uint32_t page_size() const { return page_size_; }
+  std::uint32_t page_count() const { return static_cast<std::uint32_t>(pages_.size()); }
+
+  // Appends a zeroed page and returns its id.
+  PageId Allocate();
+
+  // Copies a full page into `out` (must hold page_size() bytes).
+  void Read(PageId id, std::uint8_t* out);
+
+  // Overwrites a full page from `data` (page_size() bytes).
+  void Write(PageId id, const std::uint8_t* data);
+
+  // Physical access counters (every call, regardless of caching above).
+  std::uint64_t physical_reads() const { return physical_reads_; }
+  std::uint64_t physical_writes() const { return physical_writes_; }
+  void ResetStats() { physical_reads_ = physical_writes_ = 0; }
+
+ private:
+  std::uint32_t page_size_;
+  std::vector<std::vector<std::uint8_t>> pages_;
+  std::uint64_t physical_reads_ = 0;
+  std::uint64_t physical_writes_ = 0;
+};
+
+}  // namespace cca
+
+#endif  // CCA_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,168 @@
+// Approximate solver tests: validity, the Theorem-3/4 error bounds,
+// quality behaviour in delta, refinement modes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/approx.h"
+#include "flow/sspa.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+struct ApproxCase {
+  std::string label;
+  test::InstanceSpec spec;
+  double delta;
+  RefineMode refine;
+};
+
+class ApproxParamTest : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ApproxParamTest, SaValidWithinTheorem3Bound) {
+  const auto& param = GetParam();
+  const Problem problem = test::RandomProblem(param.spec);
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = param.delta;
+  config.refine = param.refine;
+  const ApproxResult sa = SolveSa(problem, db.get(), config);
+
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, sa.matching, &error)) << "SA: " << error;
+  const double optimal = SolveSspa(problem).matching.cost();
+  EXPECT_GE(sa.matching.cost(), optimal - 1e-6);
+  EXPECT_LE(sa.matching.cost(), optimal + SaErrorBound(problem.Gamma(), param.delta) + 1e-6);
+  EXPECT_GE(sa.num_groups, 1u);
+}
+
+TEST_P(ApproxParamTest, CaValidWithinTheorem4Bound) {
+  const auto& param = GetParam();
+  const Problem problem = test::RandomProblem(param.spec);
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = param.delta;
+  config.refine = param.refine;
+  const ApproxResult ca = SolveCa(problem, db.get(), config);
+
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, ca.matching, &error)) << "CA: " << error;
+  const double optimal = SolveSspa(problem).matching.cost();
+  EXPECT_GE(ca.matching.cost(), optimal - 1e-6);
+  EXPECT_LE(ca.matching.cost(), optimal + CaErrorBound(problem.Gamma(), param.delta) + 1e-6);
+}
+
+test::InstanceSpec Spec(std::size_t nq, std::size_t np, std::int32_t k, bool clustered,
+                        std::uint64_t seed) {
+  test::InstanceSpec s;
+  s.nq = nq;
+  s.np = np;
+  s.k_lo = k;
+  s.k_hi = k;
+  s.clustered_p = clustered;
+  s.seed = seed;
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ApproxParamTest,
+    ::testing::Values(
+        ApproxCase{"SmallDeltaNN", Spec(6, 80, 8, false, 1), 10.0,
+                   RefineMode::kNearestNeighbor},
+        ApproxCase{"SmallDeltaEx", Spec(6, 80, 8, false, 2), 10.0,
+                   RefineMode::kExclusiveNearestNeighbor},
+        ApproxCase{"MediumDeltaNN", Spec(8, 100, 6, true, 3), 40.0,
+                   RefineMode::kNearestNeighbor},
+        ApproxCase{"LargeDeltaEx", Spec(8, 100, 6, true, 4), 160.0,
+                   RefineMode::kExclusiveNearestNeighbor},
+        ApproxCase{"ScarceCapacity", Spec(5, 120, 4, false, 5), 40.0,
+                   RefineMode::kNearestNeighbor},
+        ApproxCase{"AbundantCapacity", Spec(5, 40, 30, false, 6), 40.0,
+                   RefineMode::kExclusiveNearestNeighbor}),
+    [](const ::testing::TestParamInfo<ApproxCase>& info) { return info.param.label; });
+
+TEST(ApproxTest, TinyDeltaNearOptimal) {
+  // delta -> 0 degenerates to singleton groups: the result must match the
+  // exact optimum (refinement of singleton groups is trivial).
+  test::InstanceSpec spec = Spec(5, 60, 6, false, 7);
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = 1e-6;
+  const ApproxResult sa = SolveSa(problem, db.get(), config);
+  const double optimal = SolveSspa(problem).matching.cost();
+  EXPECT_NEAR(sa.matching.cost(), optimal, 1e-3);
+}
+
+TEST(ApproxTest, QualityDegradesGracefullyWithDelta) {
+  const Problem problem = test::RandomProblem(Spec(8, 150, 10, true, 8));
+  auto db = test::MakeDb(problem);
+  const double optimal = SolveSspa(problem).matching.cost();
+  double prev_groups = 1e18;
+  for (double delta : {10.0, 80.0, 640.0}) {
+    ApproxConfig config;
+    config.delta = delta;
+    const ApproxResult ca = SolveCa(problem, db.get(), config);
+    const double ratio = ca.matching.cost() / optimal;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, 1.0 + CaErrorBound(problem.Gamma(), delta) / optimal + 1e-9);
+    // Group count must shrink as delta grows.
+    EXPECT_LE(static_cast<double>(ca.num_groups), prev_groups);
+    prev_groups = static_cast<double>(ca.num_groups);
+  }
+}
+
+TEST(ApproxTest, CaConciseWeightsCoverAllCustomers) {
+  const Problem problem = test::RandomProblem(Spec(4, 200, 10, true, 9));
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = 50.0;
+  const ApproxResult ca = SolveCa(problem, db.get(), config);
+  // gamma = min(|P|, sum k) = 40 here; the final matching must hit it.
+  EXPECT_EQ(ca.matching.size(), problem.Gamma());
+}
+
+TEST(ApproxTest, SaConciseCostBelowFinalCost) {
+  // The concise matching solves a relaxation-ish problem on representatives;
+  // refinement adds per-pair displacement, so the final cost should exceed
+  // the concise cost minus slack (sanity relation, not a theorem).
+  const Problem problem = test::RandomProblem(Spec(10, 100, 5, false, 10));
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = 60.0;
+  const ApproxResult sa = SolveSa(problem, db.get(), config);
+  EXPECT_GT(sa.concise_cost, 0.0);
+  EXPECT_GE(sa.matching.cost(),
+            sa.concise_cost - SaErrorBound(problem.Gamma(), config.delta));
+}
+
+TEST(ApproxTest, DeterministicAcrossRuns) {
+  const Problem problem = test::RandomProblem(Spec(6, 90, 5, true, 11));
+  auto db = test::MakeDb(problem);
+  ApproxConfig config;
+  config.delta = 40.0;
+  const ApproxResult a = SolveCa(problem, db.get(), config);
+  const ApproxResult b = SolveCa(problem, db.get(), config);
+  EXPECT_DOUBLE_EQ(a.matching.cost(), b.matching.cost());
+  EXPECT_EQ(a.num_groups, b.num_groups);
+}
+
+TEST(ApproxTest, RefineModesBothValid) {
+  const Problem problem = test::RandomProblem(Spec(7, 110, 6, true, 12));
+  auto db = test::MakeDb(problem);
+  for (RefineMode mode :
+       {RefineMode::kNearestNeighbor, RefineMode::kExclusiveNearestNeighbor}) {
+    ApproxConfig config;
+    config.delta = 30.0;
+    config.refine = mode;
+    const ApproxResult sa = SolveSa(problem, db.get(), config);
+    const ApproxResult ca = SolveCa(problem, db.get(), config);
+    std::string error;
+    EXPECT_TRUE(ValidateMatching(problem, sa.matching, &error)) << error;
+    EXPECT_TRUE(ValidateMatching(problem, ca.matching, &error)) << error;
+  }
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,126 @@
+// Edge-case and metric-contract tests for the exact solver drivers.
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "flow/sspa.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+TEST(RiaEdgeTest, ThetaLargerThanWorldStillWorks) {
+  test::InstanceSpec spec;
+  spec.nq = 4;
+  spec.np = 30;
+  spec.seed = 5;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  ExactConfig config;
+  config.theta = 1e7;  // single range search grabs everything
+  const ExactResult r = SolveRia(problem, db.get(), config);
+  EXPECT_NEAR(r.matching.cost(), SolveSspa(problem).matching.cost(), 1e-6);
+  // One batch: exactly |Q| range searches.
+  EXPECT_EQ(r.metrics.range_searches, problem.providers.size());
+  // The whole bipartite graph was materialised.
+  EXPECT_EQ(r.metrics.edges_inserted, problem.providers.size() * problem.customers.size());
+}
+
+TEST(RiaEdgeTest, SmallThetaMeansManyRangeSearches) {
+  test::InstanceSpec spec;
+  spec.nq = 3;
+  spec.np = 40;
+  spec.seed = 6;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  ExactConfig coarse;
+  coarse.theta = 200.0;
+  ExactConfig fine;
+  fine.theta = 10.0;
+  const ExactResult a = SolveRia(problem, db.get(), coarse);
+  const ExactResult b = SolveRia(problem, db.get(), fine);
+  EXPECT_LT(a.metrics.range_searches, b.metrics.range_searches);
+  // Finer annuli discover fewer superfluous edges.
+  EXPECT_LE(b.metrics.edges_inserted, a.metrics.edges_inserted);
+  EXPECT_NEAR(a.matching.cost(), b.matching.cost(), 1e-6);
+}
+
+TEST(ExactEdgeTest, ProvidersOutnumberCustomers) {
+  // gamma limited by |P|; many providers stay empty.
+  test::InstanceSpec spec;
+  spec.nq = 30;
+  spec.np = 6;
+  spec.k_lo = 2;
+  spec.k_hi = 3;
+  spec.seed = 7;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  for (auto solve : {SolveRia, SolveNia, SolveIda}) {
+    const ExactResult r = solve(problem, db.get(), ExactConfig{});
+    EXPECT_EQ(r.matching.size(), 6);
+    std::string error;
+    EXPECT_TRUE(ValidateMatching(problem, r.matching, &error)) << error;
+  }
+}
+
+TEST(ExactEdgeTest, SingleCustomerSingleProvider) {
+  Problem problem;
+  problem.providers = {Provider{{10, 10}, 1}};
+  problem.customers = {Point{20, 10}};
+  auto db = test::MakeDb(problem);
+  for (auto solve : {SolveRia, SolveNia, SolveIda, SolveGreedySm}) {
+    const ExactResult r = solve(problem, db.get(), ExactConfig{});
+    ASSERT_EQ(r.matching.size(), 1);
+    EXPECT_DOUBLE_EQ(r.matching.cost(), 10.0);
+  }
+}
+
+TEST(ExactEdgeTest, MetricsContracts) {
+  test::InstanceSpec spec;
+  spec.nq = 6;
+  spec.np = 80;
+  spec.k_lo = 3;
+  spec.k_hi = 6;
+  spec.seed = 8;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+  // Accepted augmentations must cover gamma units.
+  EXPECT_GE(ida.metrics.augmentations, 1u);
+  EXPECT_EQ(static_cast<std::int64_t>(ida.matching.size()), problem.Gamma());
+  // Every inserted edge came from an NN advance in NIA/IDA.
+  EXPECT_GE(ida.metrics.nn_searches, ida.metrics.edges_inserted);
+  // Fast-path assignments never exceed total augmentations.
+  EXPECT_LE(ida.metrics.fast_path_assigns, ida.metrics.augmentations);
+  // CPU time was measured.
+  EXPECT_GT(ida.metrics.cpu_millis, 0.0);
+}
+
+TEST(ExactEdgeTest, DuplicateCustomerPositions) {
+  // Ties everywhere: 20 customers on 2 distinct positions.
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 8}, Provider{{100, 0}, 8}};
+  for (int i = 0; i < 10; ++i) problem.customers.push_back(Point{30, 0});
+  for (int i = 0; i < 10; ++i) problem.customers.push_back(Point{70, 0});
+  auto db = test::MakeDb(problem);
+  const double optimal = SolveSspa(problem).matching.cost();
+  for (auto solve : {SolveRia, SolveNia, SolveIda}) {
+    const ExactResult r = solve(problem, db.get(), ExactConfig{});
+    EXPECT_NEAR(r.matching.cost(), optimal, 1e-6);
+    EXPECT_EQ(r.matching.size(), 16);
+  }
+}
+
+TEST(ExactEdgeTest, ZeroTotalCapacity) {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 0}, Provider{{10, 0}, 0}};
+  problem.customers = {Point{1, 1}, Point{2, 2}};
+  auto db = test::MakeDb(problem);
+  for (auto solve : {SolveRia, SolveNia, SolveIda}) {
+    const ExactResult r = solve(problem, db.get(), ExactConfig{});
+    EXPECT_EQ(r.matching.size(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,131 @@
+// Generic FlowNetwork tests: min-cost flow on hand instances, residual
+// bookkeeping, negative-cycle detection.
+#include <gtest/gtest.h>
+
+#include "flow/flow_network.h"
+
+namespace cca {
+namespace {
+
+TEST(FlowNetworkTest, SingleEdge) {
+  FlowNetwork net(2);
+  const int e = net.AddEdge(0, 1, 5, 2.0);
+  const auto result = net.MinCostFlow(0, 1, 3);
+  EXPECT_EQ(result.flow, 3);
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_EQ(net.FlowOn(e), 3);
+}
+
+TEST(FlowNetworkTest, CapacityLimitsFlow) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 2, 1.0);
+  const auto result = net.MinCostFlow(0, 1, 10);
+  EXPECT_EQ(result.flow, 2);
+}
+
+TEST(FlowNetworkTest, PrefersCheaperParallelPath) {
+  FlowNetwork net(4);
+  // 0 -> 1 -> 3 costs 2; 0 -> 2 -> 3 costs 10.
+  const int cheap_a = net.AddEdge(0, 1, 1, 1.0);
+  net.AddEdge(1, 3, 1, 1.0);
+  const int pricey_a = net.AddEdge(0, 2, 1, 5.0);
+  net.AddEdge(2, 3, 1, 5.0);
+  const auto one = net.MinCostFlow(0, 3, 1);
+  EXPECT_DOUBLE_EQ(one.cost, 2.0);
+  EXPECT_EQ(net.FlowOn(cheap_a), 1);
+  EXPECT_EQ(net.FlowOn(pricey_a), 0);
+  // Second unit must take the expensive path.
+  const auto two = net.MinCostFlow(0, 3, 1);
+  EXPECT_DOUBLE_EQ(two.cost, 10.0);
+}
+
+TEST(FlowNetworkTest, UsesResidualReroute) {
+  // Classic rerouting: the cheap middle edge must be partially undone.
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 1, 1.0);
+  net.AddEdge(0, 2, 1, 4.0);
+  net.AddEdge(1, 2, 1, 1.0);
+  net.AddEdge(1, 3, 1, 6.0);
+  net.AddEdge(2, 3, 2, 1.0);
+  const auto result = net.MinCostFlow(0, 3, 2);
+  EXPECT_EQ(result.flow, 2);
+  // Optimal: 0-1-2-3 (3) + 0-2-3 (5) = 8.
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);
+}
+
+TEST(FlowNetworkTest, HandlesNegativeCostEdges) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 1, 5.0);
+  net.AddEdge(1, 2, 1, -3.0);
+  const auto result = net.MinCostFlow(0, 2, 1);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+}
+
+TEST(FlowNetworkTest, DisconnectedReturnsPartialFlow) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 1, 1.0);
+  // Node 3 unreachable.
+  const auto result = net.MinCostFlow(0, 3, 5);
+  EXPECT_EQ(result.flow, 0);
+}
+
+TEST(NegativeCycleTest, CleanGraphHasNone) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 1, 1.0);
+  net.AddEdge(1, 2, 1, 1.0);
+  net.AddEdge(2, 0, 1, 1.0);
+  EXPECT_FALSE(net.HasNegativeCycle());
+}
+
+TEST(NegativeCycleTest, DetectsNegativeCycle) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 1, 1.0);
+  net.AddEdge(1, 2, 1, -2.0);
+  net.AddEdge(2, 0, 1, 0.5);
+  EXPECT_TRUE(net.HasNegativeCycle());
+}
+
+TEST(NegativeCycleTest, SaturatedEdgesDoNotCount) {
+  // The cycle 0->1->0 would cost -8, but the 0->1 leg has zero remaining
+  // capacity and must be ignored.
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 0, -10.0);  // saturated: not residual
+  net.AddEdge(1, 0, 1, 2.0);
+  EXPECT_FALSE(net.HasNegativeCycle());
+}
+
+TEST(NegativeCycleTest, AppearsAfterSuboptimalFlow) {
+  // Push flow along the expensive path by force; the residual graph then
+  // contains a negative cycle (the signature of suboptimality).
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 1, 10.0);
+  net.AddEdge(1, 3, 1, 10.0);
+  net.AddEdge(0, 2, 1, 1.0);
+  net.AddEdge(2, 3, 1, 1.0);
+  // Manually shove a unit down the pricey route via a targeted solve on a
+  // sub-network: saturate by setting up a temporary throttle.
+  FlowNetwork forced(4);
+  const int a = forced.AddEdge(0, 1, 1, 10.0);
+  const int b = forced.AddEdge(1, 3, 1, 10.0);
+  forced.AddEdge(0, 2, 1, 1.0);
+  forced.AddEdge(2, 3, 1, 1.0);
+  // Route a unit over 0-1-3 only.
+  FlowNetwork pricey_only(4);
+  pricey_only.AddEdge(0, 1, 1, 10.0);
+  pricey_only.AddEdge(1, 3, 1, 10.0);
+  const auto sent = pricey_only.MinCostFlow(0, 3, 1);
+  ASSERT_EQ(sent.flow, 1);
+  (void)a;
+  (void)b;
+  // Rebuild the full residual state by hand: 0->1 and 1->3 carry flow.
+  FlowNetwork residual(4);
+  residual.AddEdge(1, 0, 1, -10.0);  // reversed
+  residual.AddEdge(3, 1, 1, -10.0);  // reversed
+  residual.AddEdge(0, 2, 1, 1.0);
+  residual.AddEdge(2, 3, 1, 1.0);
+  // Cycle 3->1->0->2->3 costs -10-10+1+1 = -18 < 0.
+  EXPECT_TRUE(residual.HasNegativeCycle());
+}
+
+}  // namespace
+}  // namespace cca

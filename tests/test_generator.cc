@@ -1,0 +1,177 @@
+// Workload generator tests: road network structure, point distributions,
+// capacity vectors.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "gen/road_network.h"
+
+namespace cca {
+namespace {
+
+TEST(RoadNetworkTest, GridIsConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto net = RoadNetwork::MakeGrid(12, 12, DefaultWorld(), seed);
+    EXPECT_TRUE(net.IsConnected()) << "seed " << seed;
+    EXPECT_EQ(net.junctions.size(), 144u);
+    EXPECT_GT(net.edges.size(), 144u);  // more streets than junctions
+  }
+}
+
+TEST(RoadNetworkTest, JunctionsInsideWorld) {
+  const auto net = DefaultNetwork();
+  for (const auto& j : net.junctions) {
+    EXPECT_TRUE(net.world.Contains(j));
+  }
+}
+
+TEST(RoadNetworkTest, EdgeLengthsMatchGeometry) {
+  const auto net = DefaultNetwork();
+  for (const auto& e : net.edges) {
+    EXPECT_NEAR(e.length,
+                Distance(net.junctions[static_cast<std::size_t>(e.a)],
+                         net.junctions[static_cast<std::size_t>(e.b)]),
+                1e-9);
+    EXPECT_GT(e.length, 0.0);
+  }
+}
+
+TEST(RoadNetworkTest, PointOnEdgeInterpolates) {
+  const auto net = DefaultNetwork();
+  const auto& e = net.edges[0];
+  const Point a = net.junctions[static_cast<std::size_t>(e.a)];
+  const Point b = net.junctions[static_cast<std::size_t>(e.b)];
+  EXPECT_EQ(net.PointOnEdge(0, 0.0), a);
+  EXPECT_EQ(net.PointOnEdge(0, 1.0), b);
+  const Point mid = net.PointOnEdge(0, 0.5);
+  EXPECT_NEAR(Distance(mid, a), Distance(mid, b), 1e-9);
+}
+
+TEST(RoadNetworkTest, DeterministicPerSeed) {
+  const auto a = RoadNetwork::MakeGrid(10, 10, DefaultWorld(), 7);
+  const auto b = RoadNetwork::MakeGrid(10, 10, DefaultWorld(), 7);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].a, b.edges[i].a);
+    EXPECT_EQ(a.edges[i].b, b.edges[i].b);
+  }
+}
+
+// Every generated point must lie on some network edge (within epsilon).
+double DistToSegment(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  double t = len2 == 0 ? 0.0 : ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Point{a.x + t * dx, a.y + t * dy});
+}
+
+TEST(GeneratorTest, PointsLieOnNetwork) {
+  const auto net = RoadNetwork::MakeGrid(8, 8, DefaultWorld(), 3);
+  DatasetSpec spec;
+  spec.count = 200;
+  spec.seed = 5;
+  spec.distribution = PointDistribution::kClustered;
+  const auto pts = GeneratePoints(net, spec);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const auto& p : pts) {
+    double best = 1e100;
+    for (const auto& e : net.edges) {
+      best = std::min(best, DistToSegment(p, net.junctions[static_cast<std::size_t>(e.a)],
+                                          net.junctions[static_cast<std::size_t>(e.b)]));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const auto net = DefaultNetwork();
+  DatasetSpec spec;
+  spec.count = 500;
+  spec.seed = 9;
+  const auto a = GeneratePoints(net, spec);
+  const auto b = GeneratePoints(net, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorTest, SeedsProduceDifferentData) {
+  const auto net = DefaultNetwork();
+  DatasetSpec a_spec, b_spec;
+  a_spec.count = b_spec.count = 100;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  const auto a = GeneratePoints(net, a_spec);
+  const auto b = GeneratePoints(net, b_spec);
+  int equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+// Clustered data must be substantially more concentrated than uniform:
+// compare the mean distance to the nearest of the 10 densest grid cells.
+TEST(GeneratorTest, ClusteredIsDenserThanUniform) {
+  const auto net = DefaultNetwork();
+  DatasetSpec clustered;
+  clustered.count = 4000;
+  clustered.seed = 11;
+  clustered.distribution = PointDistribution::kClustered;
+  DatasetSpec uniform = clustered;
+  uniform.distribution = PointDistribution::kUniform;
+
+  auto mean_nn_spread = [](const std::vector<Point>& pts) {
+    // Average distance of each point to the dataset centroid quantised in
+    // a 20x20 histogram: clustered data concentrates mass in few cells.
+    std::vector<int> hist(400, 0);
+    for (const auto& p : pts) {
+      const int cx = std::min(19, static_cast<int>(p.x / 50.0));
+      const int cy = std::min(19, static_cast<int>(p.y / 50.0));
+      ++hist[static_cast<std::size_t>(cy * 20 + cx)];
+    }
+    std::sort(hist.begin(), hist.end(), std::greater<>());
+    // Mass captured by the 40 densest cells (10% of the area).
+    double top = 0;
+    for (int i = 0; i < 40; ++i) top += hist[static_cast<std::size_t>(i)];
+    return top / static_cast<double>(pts.size());
+  };
+  const double c = mean_nn_spread(GeneratePoints(net, clustered));
+  const double u = mean_nn_spread(GeneratePoints(net, uniform));
+  EXPECT_GT(c, u + 0.2) << "clustered=" << c << " uniform=" << u;
+}
+
+TEST(GeneratorTest, CapacityVectors) {
+  const auto fixed = FixedCapacities(10, 80);
+  EXPECT_EQ(fixed.size(), 10u);
+  for (auto k : fixed) EXPECT_EQ(k, 80);
+  const auto mixed = MixedCapacities(1000, 40, 120, 3);
+  std::int64_t total = 0;
+  for (auto k : mixed) {
+    EXPECT_GE(k, 40);
+    EXPECT_LE(k, 120);
+    total += k;
+  }
+  // Mean should be near the midpoint.
+  EXPECT_NEAR(static_cast<double>(total) / 1000.0, 80.0, 5.0);
+}
+
+TEST(GeneratorTest, MakeProblemAssemblesEverything) {
+  const auto net = DefaultNetwork();
+  DatasetSpec q_spec;
+  q_spec.count = 20;
+  q_spec.seed = 21;
+  DatasetSpec p_spec;
+  p_spec.count = 300;
+  p_spec.seed = 22;
+  const Problem problem = MakeProblem(net, q_spec, p_spec, FixedCapacities(20, 7));
+  EXPECT_EQ(problem.providers.size(), 20u);
+  EXPECT_EQ(problem.customers.size(), 300u);
+  EXPECT_EQ(problem.TotalCapacity(), 140);
+  EXPECT_EQ(problem.Gamma(), 140);
+}
+
+}  // namespace
+}  // namespace cca

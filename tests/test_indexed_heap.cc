@@ -1,0 +1,124 @@
+// IndexedHeap tests, including a randomized differential test against a
+// reference implementation.
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/indexed_heap.h"
+#include "common/rng.h"
+
+namespace cca {
+namespace {
+
+TEST(IndexedHeapTest, PushPopOrdered) {
+  IndexedHeap heap(10);
+  heap.PushOrDecrease(3, 5.0);
+  heap.PushOrDecrease(1, 2.0);
+  heap.PushOrDecrease(7, 9.0);
+  heap.PushOrDecrease(2, 4.0);
+  EXPECT_EQ(heap.size(), 4u);
+  EXPECT_EQ(heap.PopMin().first, 1);
+  EXPECT_EQ(heap.PopMin().first, 2);
+  EXPECT_EQ(heap.PopMin().first, 3);
+  EXPECT_EQ(heap.PopMin().first, 7);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeapTest, DecreaseKeyReordersElement) {
+  IndexedHeap heap(5);
+  heap.PushOrDecrease(0, 10.0);
+  heap.PushOrDecrease(1, 20.0);
+  heap.PushOrDecrease(2, 30.0);
+  heap.PushOrDecrease(2, 1.0);  // decrease
+  EXPECT_EQ(heap.PopMin().first, 2);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 10.0);
+}
+
+TEST(IndexedHeapTest, IncreaseIsIgnored) {
+  IndexedHeap heap(5);
+  heap.PushOrDecrease(0, 10.0);
+  heap.PushOrDecrease(0, 50.0);  // ignored: Dijkstra never raises keys
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 10.0);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedHeapTest, ContainsTracksMembership) {
+  IndexedHeap heap(5);
+  EXPECT_FALSE(heap.Contains(0));
+  heap.PushOrDecrease(0, 1.0);
+  EXPECT_TRUE(heap.Contains(0));
+  heap.PopMin();
+  EXPECT_FALSE(heap.Contains(0));
+}
+
+TEST(IndexedHeapTest, RemoveArbitrary) {
+  IndexedHeap heap(6);
+  for (int i = 0; i < 6; ++i) heap.PushOrDecrease(i, 10.0 - i);
+  heap.Remove(0);  // largest key
+  heap.Remove(5);  // smallest key
+  EXPECT_EQ(heap.size(), 4u);
+  EXPECT_EQ(heap.PopMin().first, 4);
+}
+
+TEST(IndexedHeapTest, ClearEmptiesAndAllowsReuse) {
+  IndexedHeap heap(4);
+  heap.PushOrDecrease(1, 1.0);
+  heap.PushOrDecrease(2, 2.0);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(1));
+  heap.PushOrDecrease(1, 5.0);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(1), 5.0);
+}
+
+TEST(IndexedHeapTest, ResizeGrowsIdSpace) {
+  IndexedHeap heap(2);
+  heap.PushOrDecrease(100, 3.0);  // auto-grows
+  EXPECT_TRUE(heap.Contains(100));
+  EXPECT_EQ(heap.PopMin().first, 100);
+}
+
+// Differential test against std::multiset-based reference.
+TEST(IndexedHeapTest, RandomisedAgainstReference) {
+  Rng rng(77);
+  IndexedHeap heap(200);
+  std::map<int, double> ref;  // id -> key
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.NextBelow(3));
+    if (op == 0) {
+      const int id = static_cast<int>(rng.NextBelow(200));
+      const double key = rng.Uniform(0, 1000);
+      auto it = ref.find(id);
+      if (it == ref.end()) {
+        ref[id] = key;
+        heap.PushOrDecrease(id, key);
+      } else if (key < it->second) {
+        it->second = key;
+        heap.PushOrDecrease(id, key);
+      } else {
+        heap.PushOrDecrease(id, key);  // ignored
+      }
+    } else if (op == 1 && !ref.empty()) {
+      auto best = ref.begin();
+      for (auto it = ref.begin(); it != ref.end(); ++it) {
+        if (it->second < best->second) best = it;
+      }
+      const auto [id, key] = heap.PopMin();
+      EXPECT_DOUBLE_EQ(key, best->second);
+      EXPECT_EQ(id, best->first);
+      ref.erase(best);
+    } else if (op == 2 && !ref.empty()) {
+      // Remove a random element.
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(ref.size())));
+      heap.Remove(it->first);
+      ref.erase(it);
+    }
+    EXPECT_EQ(heap.size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,130 @@
+// Matching container and validity-checker tests.
+#include <gtest/gtest.h>
+
+#include "core/matching.h"
+
+namespace cca {
+namespace {
+
+Problem SmallProblem() {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 2}, Provider{{10, 0}, 1}};
+  problem.customers = {Point{1, 0}, Point{2, 0}, Point{9, 0}};
+  return problem;  // gamma = min(3, 3) = 3
+}
+
+TEST(MatchingTest, CostAndSize) {
+  Matching m;
+  m.Add(0, 0, 1, 1.0);
+  m.Add(0, 1, 1, 2.0);
+  m.Add(1, 2, 1, 1.0);
+  EXPECT_DOUBLE_EQ(m.cost(), 4.0);
+  EXPECT_EQ(m.size(), 3);
+}
+
+TEST(MatchingTest, WeightedUnitsScaleCost) {
+  Matching m;
+  m.Add(0, 0, 3, 2.0);
+  EXPECT_DOUBLE_EQ(m.cost(), 6.0);
+  EXPECT_EQ(m.size(), 3);
+}
+
+TEST(MatchingTest, Loads) {
+  Matching m;
+  m.Add(0, 0, 1, 1.0);
+  m.Add(0, 1, 2, 2.0);
+  const auto q_loads = m.ProviderLoads(2);
+  EXPECT_EQ(q_loads[0], 3);
+  EXPECT_EQ(q_loads[1], 0);
+  const auto p_loads = m.CustomerLoads(3);
+  EXPECT_EQ(p_loads[1], 2);
+}
+
+TEST(ValidateMatchingTest, AcceptsValid) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(0, 0, 1, 1.0);
+  m.Add(0, 1, 1, 2.0);
+  m.Add(1, 2, 1, 1.0);
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, m, &error)) << error;
+}
+
+TEST(ValidateMatchingTest, RejectsWrongDistance) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(0, 0, 1, 5.0);  // real distance is 1
+  m.Add(0, 1, 1, 2.0);
+  m.Add(1, 2, 1, 1.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+  EXPECT_NE(error.find("distance"), std::string::npos);
+}
+
+TEST(ValidateMatchingTest, RejectsOverCapacity) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(1, 0, 1, 9.0);
+  m.Add(1, 1, 1, 8.0);  // provider 1 has k = 1
+  m.Add(0, 2, 1, 9.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+  EXPECT_NE(error.find("capacity"), std::string::npos);
+}
+
+TEST(ValidateMatchingTest, RejectsDuplicateCustomer) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(0, 0, 1, 1.0);
+  m.Add(1, 0, 1, 9.0);  // customer 0 twice
+  m.Add(0, 1, 1, 2.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+}
+
+TEST(ValidateMatchingTest, RejectsUndersized) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(0, 0, 1, 1.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+  EXPECT_NE(error.find("gamma"), std::string::npos);
+}
+
+TEST(ValidateMatchingTest, RejectsUnknownIds) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(7, 0, 1, 1.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+}
+
+TEST(ValidateMatchingTest, RejectsNonPositiveUnits) {
+  const Problem problem = SmallProblem();
+  Matching m;
+  m.Add(0, 0, 0, 1.0);
+  std::string error;
+  EXPECT_FALSE(ValidateMatching(problem, m, &error));
+}
+
+TEST(ProblemTest, GammaRegimes) {
+  Problem problem = SmallProblem();
+  EXPECT_EQ(problem.TotalCapacity(), 3);
+  EXPECT_EQ(problem.TotalWeight(), 3);
+  EXPECT_EQ(problem.Gamma(), 3);
+  problem.providers[0].capacity = 1;  // capacity-scarce
+  EXPECT_EQ(problem.Gamma(), 2);
+  problem.weights = {2, 2, 2};  // weighted customers
+  EXPECT_EQ(problem.TotalWeight(), 6);
+  EXPECT_EQ(problem.Gamma(), 2);
+}
+
+TEST(ProblemTest, WorldCoversEverything) {
+  const Problem problem = SmallProblem();
+  const Rect world = problem.World();
+  for (const auto& q : problem.providers) EXPECT_TRUE(world.Contains(q.pos));
+  for (const auto& p : problem.customers) EXPECT_TRUE(world.Contains(p));
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,55 @@
+// Metrics bundle tests.
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace cca {
+namespace {
+
+TEST(MetricsTest, IoTimeModel) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.io_millis(), 0.0);
+  m.page_faults = 7;
+  EXPECT_DOUBLE_EQ(m.io_millis(), 70.0);  // 10 ms per fault (paper 5.1)
+  m.cpu_millis = 12.5;
+  EXPECT_DOUBLE_EQ(m.total_millis(), 82.5);
+}
+
+TEST(MetricsTest, AccumulateAddsEverything) {
+  Metrics a, b;
+  a.edges_inserted = 3;
+  a.dijkstra_runs = 2;
+  a.page_faults = 1;
+  a.cpu_millis = 5.0;
+  b.edges_inserted = 10;
+  b.dijkstra_runs = 1;
+  b.page_faults = 4;
+  b.cpu_millis = 2.0;
+  b.fast_path_assigns = 6;
+  a.Accumulate(b);
+  EXPECT_EQ(a.edges_inserted, 13u);
+  EXPECT_EQ(a.dijkstra_runs, 3u);
+  EXPECT_EQ(a.page_faults, 5u);
+  EXPECT_EQ(a.fast_path_assigns, 6u);
+  EXPECT_DOUBLE_EQ(a.cpu_millis, 7.0);
+}
+
+TEST(MetricsTest, ResetClears) {
+  Metrics m;
+  m.edges_inserted = 5;
+  m.cpu_millis = 3.0;
+  m.Reset();
+  EXPECT_EQ(m.edges_inserted, 0u);
+  EXPECT_DOUBLE_EQ(m.cpu_millis, 0.0);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyCounters) {
+  Metrics m;
+  m.edges_inserted = 42;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("Esub"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,151 @@
+// Oracle tests: brute force, network-based solver, Klein certificate.
+#include <gtest/gtest.h>
+
+#include "flow/oracle.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+// A collinear embedding of the paper's Figure 2 example: q1.k=1, q2.k=2,
+// d(q1,p1)=4, d(q1,p2)=3, d(q2,p2)=7 (d(q2,p1)=14 instead of 10, which
+// affects no decision). SSPA first matches (q1,p2) at cost 3, then the
+// second augmenting path reroutes through the residual edge p2->q1,
+// yielding the paper's optimal matching (q1,p1),(q2,p2) of cost 11.
+Problem TwoByTwo() {
+  Problem problem;
+  problem.providers = {Provider{{0.0, 0.0}, 1}, Provider{{10.0, 0.0}, 2}};
+  problem.customers = {Point{-4.0, 0.0}, Point{3.0, 0.0}};
+  EXPECT_DOUBLE_EQ(Distance(problem.providers[0].pos, problem.customers[0]), 4.0);
+  EXPECT_DOUBLE_EQ(Distance(problem.providers[0].pos, problem.customers[1]), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(problem.providers[1].pos, problem.customers[1]), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(problem.providers[1].pos, problem.customers[0]), 14.0);
+  return problem;
+}
+
+TEST(BruteForceTest, TrivialOneToOne) {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 1}};
+  problem.customers = {Point{1, 0}, Point{5, 0}};
+  const Matching m = BruteForceOptimal(problem);
+  ASSERT_EQ(m.pairs.size(), 1u);
+  EXPECT_EQ(m.pairs[0].customer, 0);
+  EXPECT_DOUBLE_EQ(m.cost(), 1.0);
+}
+
+TEST(BruteForceTest, CapacityForcesSplit) {
+  // Two customers next to q0 but q0.k = 1: the second goes to q1.
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 1}, Provider{{10, 0}, 1}};
+  problem.customers = {Point{1, 0}, Point{2, 0}};
+  const Matching m = BruteForceOptimal(problem);
+  EXPECT_EQ(m.size(), 2);
+  // q0 takes p0 (1 < 2), q1 takes p1 (8).
+  EXPECT_DOUBLE_EQ(m.cost(), 1.0 + 8.0);
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, m, &error)) << error;
+}
+
+TEST(BruteForceTest, MoreCapacityThanCustomers) {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 5}};
+  problem.customers = {Point{1, 0}, Point{2, 0}, Point{3, 0}};
+  const Matching m = BruteForceOptimal(problem);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.cost(), 6.0);
+}
+
+TEST(BruteForceTest, MoreCustomersThanCapacity) {
+  // gamma = 1: the cheapest single pair must be chosen.
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 1}};
+  problem.customers = {Point{5, 0}, Point{2, 0}, Point{9, 0}};
+  const Matching m = BruteForceOptimal(problem);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_DOUBLE_EQ(m.cost(), 2.0);
+  EXPECT_EQ(m.pairs[0].customer, 1);
+}
+
+TEST(NetworkOracleTest, MatchesBruteForceOnRandomTinyInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 3;
+    spec.np = 7;
+    spec.k_lo = 1;
+    spec.k_hi = 3;
+    spec.seed = seed;
+    const Problem problem = test::RandomProblem(spec);
+    const Matching brute = BruteForceOptimal(problem);
+    const Matching net = SolveWithNetworkOracle(problem);
+    EXPECT_NEAR(brute.cost(), net.cost(), 1e-6) << "seed " << seed;
+    std::string error;
+    EXPECT_TRUE(ValidateMatching(problem, net, &error)) << error;
+  }
+}
+
+TEST(NetworkOracleTest, PaperExample) {
+  const Problem problem = TwoByTwo();
+  const Matching m = SolveWithNetworkOracle(problem);
+  // Optimal: (q1,p1) + (q2,p2) = 4 + 7 = 11 (not 3 + 10 = 13).
+  EXPECT_DOUBLE_EQ(m.cost(), 11.0);
+}
+
+TEST(NetworkOracleTest, WeightedCustomers) {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 3}, Provider{{10, 0}, 3}};
+  problem.customers = {Point{1, 0}, Point{9, 0}};
+  problem.weights = {4, 1};
+  // gamma = min(5, 6) = 5. Best: q0 takes 3 units of p0, q1 takes 1 unit of
+  // p0 (cost 9) and 1 of p1 (cost 1) -- or q1 takes both.
+  const Matching m = SolveWithNetworkOracle(problem);
+  EXPECT_EQ(m.size(), 5);
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, m, &error)) << error;
+  EXPECT_DOUBLE_EQ(m.cost(), 3.0 * 1.0 + 9.0 + 1.0);
+}
+
+TEST(KleinCertificateTest, AcceptsOptimal) {
+  const Problem problem = TwoByTwo();
+  const Matching m = SolveWithNetworkOracle(problem);
+  EXPECT_TRUE(IsOptimalMatching(problem, m));
+}
+
+TEST(KleinCertificateTest, RejectsSuboptimalSwap) {
+  const Problem problem = TwoByTwo();
+  Matching bad;
+  bad.Add(0, 1, 1, 3.0);   // q1 <- p2
+  bad.Add(1, 0, 1, 14.0);  // q2 <- p1, total 17 > 11
+  EXPECT_FALSE(IsOptimalMatching(problem, bad));
+}
+
+TEST(KleinCertificateTest, RejectsUndersizedMatching) {
+  const Problem problem = TwoByTwo();
+  Matching tiny;
+  tiny.Add(0, 0, 1, 4.0);
+  EXPECT_FALSE(IsOptimalMatching(problem, tiny));  // size 1 < gamma 2
+}
+
+TEST(KleinCertificateTest, RejectsCapacityViolation) {
+  const Problem problem = TwoByTwo();
+  Matching bad;
+  bad.Add(0, 0, 1, 4.0);
+  bad.Add(0, 1, 1, 3.0);  // q1 has k=1
+  EXPECT_FALSE(IsOptimalMatching(problem, bad));
+}
+
+TEST(KleinCertificateTest, RandomisedAgreementWithBruteForce) {
+  for (std::uint64_t seed = 30; seed < 45; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 3;
+    spec.np = 6;
+    spec.k_lo = 1;
+    spec.k_hi = 4;
+    spec.seed = seed;
+    const Problem problem = test::RandomProblem(spec);
+    const Matching opt = BruteForceOptimal(problem);
+    EXPECT_TRUE(IsOptimalMatching(problem, opt)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cca

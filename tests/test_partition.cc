@@ -1,0 +1,115 @@
+// SA / CA partitioning tests (paper Sections 4.1, 4.2).
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+std::vector<Provider> MakeProviders(std::size_t n, std::uint64_t seed, std::int32_t k = 4) {
+  const auto pts = test::RandomPoints(n, seed);
+  std::vector<Provider> providers;
+  for (const auto& p : pts) providers.push_back(Provider{p, k});
+  return providers;
+}
+
+class ProviderPartitionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProviderPartitionTest, GroupsRespectDelta) {
+  const double delta = GetParam();
+  const auto providers = MakeProviders(120, 5);
+  const auto groups = PartitionProviders(providers, delta, test::UnitWorld());
+  std::vector<char> seen(providers.size(), 0);
+  for (const auto& g : groups) {
+    EXPECT_LE(g.mbr.Diagonal(), delta + 1e-9);
+    EXPECT_FALSE(g.members.empty());
+    std::int64_t cap = 0;
+    for (int idx : g.members) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = 1;
+      cap += providers[static_cast<std::size_t>(idx)].capacity;
+      // Every member lies within delta of the representative (the bound
+      // Theorem 3 uses).
+      EXPECT_LE(Distance(providers[static_cast<std::size_t>(idx)].pos, g.representative),
+                delta + 1e-9);
+    }
+    EXPECT_EQ(cap, g.capacity);
+    EXPECT_TRUE(g.mbr.Contains(g.representative));
+  }
+  for (char s : seen) EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, ProviderPartitionTest,
+                         ::testing::Values(5.0, 20.0, 80.0, 300.0, 5000.0));
+
+TEST(ProviderPartitionTest, SmallerDeltaMoreGroups) {
+  const auto providers = MakeProviders(200, 6);
+  const auto coarse = PartitionProviders(providers, 400.0, test::UnitWorld());
+  const auto fine = PartitionProviders(providers, 20.0, test::UnitWorld());
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+TEST(ProviderPartitionTest, WeightedCentroidFollowsCapacity) {
+  std::vector<Provider> providers = {Provider{{0, 0}, 9}, Provider{{10, 0}, 1}};
+  const auto groups = PartitionProviders(providers, 100.0, test::UnitWorld());
+  ASSERT_EQ(groups.size(), 1u);
+  // Centroid = (0*9 + 10*1) / 10 = 1.
+  EXPECT_NEAR(groups[0].representative.x, 1.0, 1e-12);
+  EXPECT_NEAR(groups[0].representative.y, 0.0, 1e-12);
+  EXPECT_EQ(groups[0].capacity, 10);
+}
+
+TEST(ProviderPartitionTest, HugeDeltaSingleGroup) {
+  const auto providers = MakeProviders(50, 7);
+  const auto groups = PartitionProviders(providers, 1e9, test::UnitWorld());
+  EXPECT_EQ(groups.size(), 1u);
+}
+
+class CustomerPartitionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CustomerPartitionTest, GroupsCoverAllCustomersWithinDelta) {
+  const double delta = GetParam();
+  const auto pts = test::ClusteredPoints(1500, 8);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  const auto groups = PartitionCustomers(tree.get(), delta, test::UnitWorld());
+
+  std::uint64_t total = 0;
+  std::vector<RTree::Hit> members;
+  for (const auto& g : groups) {
+    EXPECT_LE(g.mbr.Diagonal(), delta + 1e-9);
+    EXPECT_GE(g.count, 1u);
+    total += g.count;
+    // Representative at the MBR centre => every member within delta/2
+    // (the Theorem-4 displacement bound).
+    std::size_t part_total = 0;
+    for (const auto& part : g.parts) {
+      CollectPoints(tree.get(), part, &members);
+      part_total += members.size();
+      for (const auto& h : members) {
+        EXPECT_LE(Distance(h.pos, g.representative), delta / 2 + 1e-9);
+      }
+    }
+    EXPECT_EQ(part_total, g.count);
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, CustomerPartitionTest,
+                         ::testing::Values(10.0, 40.0, 160.0, 2000.0));
+
+TEST(CustomerPartitionTest, MergeReducesGroupCount) {
+  const auto pts = test::RandomPoints(2000, 9);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  const double delta = 120.0;
+  const auto raw = DeltaPartition(tree.get(), delta);
+  const auto merged = PartitionCustomers(tree.get(), delta, test::UnitWorld());
+  EXPECT_LE(merged.size(), raw.size());
+}
+
+}  // namespace
+}  // namespace cca

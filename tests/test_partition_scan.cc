@@ -1,0 +1,100 @@
+// Delta-bounded partition descent tests (CA partitioning substrate).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtree/partition_scan.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+using test::ClusteredPoints;
+using test::RandomPoints;
+
+struct ScanCase {
+  std::size_t n;
+  double delta;
+  bool clustered;
+  std::uint64_t seed;
+};
+
+class DeltaPartitionTest : public ::testing::TestWithParam<ScanCase> {};
+
+TEST_P(DeltaPartitionTest, CoversDatasetWithBoundedDiagonals) {
+  const auto& param = GetParam();
+  const auto pts = param.clustered ? ClusteredPoints(param.n, param.seed)
+                                   : RandomPoints(param.n, param.seed);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  const auto entries = DeltaPartition(tree.get(), param.delta);
+
+  std::uint64_t total = 0;
+  std::vector<char> seen(pts.size(), 0);
+  std::vector<RTree::Hit> members;
+  for (const auto& e : entries) {
+    EXPECT_LE(e.rect.Diagonal(), param.delta + 1e-9);
+    EXPECT_GE(e.count, 1u);
+    total += e.count;
+    CollectPoints(tree.get(), e, &members);
+    EXPECT_EQ(members.size(), e.count);
+    for (const auto& h : members) {
+      EXPECT_TRUE(e.rect.Contains(h.pos))
+          << "member outside its group rect";
+      EXPECT_FALSE(seen[h.oid]) << "point assigned to two groups";
+      seen[h.oid] = 1;
+    }
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DeltaPartitionTest,
+                         ::testing::Values(ScanCase{200, 100.0, false, 41},
+                                           ScanCase{1000, 50.0, false, 42},
+                                           ScanCase{1000, 10.0, false, 43},
+                                           ScanCase{2000, 25.0, true, 44},
+                                           ScanCase{500, 1500.0, false, 45},
+                                           ScanCase{100, 2.0, true, 46}));
+
+TEST(DeltaPartitionTest, HugeDeltaYieldsSingleGroup) {
+  const auto pts = RandomPoints(300, 47);
+  auto tree = RTree::BulkLoad(pts);
+  const auto entries = DeltaPartition(tree.get(), 1e6);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].count, 300u);
+  EXPECT_EQ(entries[0].subtree, tree->root());
+}
+
+TEST(DeltaPartitionTest, TinyDeltaSplitsLeaves) {
+  const auto pts = RandomPoints(400, 48);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  const auto entries = DeltaPartition(tree.get(), 1.0);
+  // With a delta far below leaf MBR sizes, most groups come from
+  // conceptual leaf splits and carry explicit points.
+  std::size_t with_points = 0;
+  for (const auto& e : entries) {
+    if (e.subtree == kInvalidPage) ++with_points;
+  }
+  EXPECT_GT(with_points, entries.size() / 2);
+}
+
+TEST(DeltaPartitionTest, DescentReadsFewerNodesForLargeDelta) {
+  const auto pts = RandomPoints(5000, 49);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  tree->ResetCounters();
+  DeltaPartition(tree.get(), 200.0);
+  const auto coarse = tree->node_accesses();
+  tree->ResetCounters();
+  DeltaPartition(tree.get(), 5.0);
+  const auto fine = tree->node_accesses();
+  EXPECT_LT(coarse, fine);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,160 @@
+// Refinement heuristic tests (paper Section 4.3).
+#include <gtest/gtest.h>
+
+#include "core/refine.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+Problem LineProblem() {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 2}, Provider{{100, 0}, 2}};
+  problem.customers = {Point{10, 0}, Point{20, 0}, Point{80, 0}, Point{90, 0}};
+  return problem;
+}
+
+RefineTask TaskFor(const Problem& problem, std::vector<int> providers,
+                   std::vector<std::int64_t> quotas, std::vector<int> customers) {
+  RefineTask task;
+  task.providers = std::move(providers);
+  task.quotas = std::move(quotas);
+  for (int c : customers) {
+    task.customers.push_back(RTree::Hit{static_cast<std::uint32_t>(c),
+                                        problem.customers[static_cast<std::size_t>(c)], 0.0});
+  }
+  return task;
+}
+
+class RefineModeTest : public ::testing::TestWithParam<RefineMode> {};
+
+TEST_P(RefineModeTest, AssignsEveryoneWhenQuotaSuffices) {
+  const Problem problem = LineProblem();
+  const RefineTask task = TaskFor(problem, {0, 1}, {2, 2}, {0, 1, 2, 3});
+  Matching m;
+  RefineGroup(problem, task, GetParam(), &m);
+  EXPECT_EQ(m.size(), 4);
+  // Obvious split: near customers to q0, far ones to q1.
+  for (const auto& pair : m.pairs) {
+    if (pair.customer <= 1) {
+      EXPECT_EQ(pair.provider, 0);
+    } else {
+      EXPECT_EQ(pair.provider, 1);
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.cost(), 10 + 20 + 20 + 10);
+}
+
+TEST_P(RefineModeTest, RespectsQuotas) {
+  const Problem problem = LineProblem();
+  const RefineTask task = TaskFor(problem, {0, 1}, {1, 2}, {0, 1, 2, 3});
+  Matching m;
+  RefineGroup(problem, task, GetParam(), &m);
+  EXPECT_EQ(m.size(), 3);  // 1 + 2 quota
+  const auto loads = m.ProviderLoads(2);
+  EXPECT_LE(loads[0], 1);
+  EXPECT_LE(loads[1], 2);
+  // No customer twice.
+  const auto p_loads = m.CustomerLoads(4);
+  for (auto l : p_loads) EXPECT_LE(l, 1);
+}
+
+TEST_P(RefineModeTest, LeavesExtraCustomersUnassigned) {
+  const Problem problem = LineProblem();
+  const RefineTask task = TaskFor(problem, {0}, {1}, {0, 1});
+  Matching m;
+  RefineGroup(problem, task, GetParam(), &m);
+  ASSERT_EQ(m.size(), 1);
+  EXPECT_EQ(m.pairs[0].customer, 0);  // nearest one wins
+}
+
+TEST_P(RefineModeTest, EmptyInputsNoop) {
+  const Problem problem = LineProblem();
+  Matching m;
+  RefineGroup(problem, TaskFor(problem, {}, {}, {0, 1}), GetParam(), &m);
+  EXPECT_EQ(m.size(), 0);
+  RefineGroup(problem, TaskFor(problem, {0}, {1}, {}), GetParam(), &m);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST_P(RefineModeTest, StoredDistancesAreExact) {
+  const Problem problem = LineProblem();
+  const RefineTask task = TaskFor(problem, {0, 1}, {2, 2}, {0, 1, 2, 3});
+  Matching m;
+  RefineGroup(problem, task, GetParam(), &m);
+  for (const auto& pair : m.pairs) {
+    EXPECT_NEAR(pair.distance,
+                Distance(problem.providers[static_cast<std::size_t>(pair.provider)].pos,
+                         problem.customers[static_cast<std::size_t>(pair.customer)]),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RefineModeTest,
+                         ::testing::Values(RefineMode::kNearestNeighbor,
+                                           RefineMode::kExclusiveNearestNeighbor,
+                                           RefineMode::kExact),
+                         [](const ::testing::TestParamInfo<RefineMode>& info) {
+                           switch (info.param) {
+                             case RefineMode::kNearestNeighbor:
+                               return "NN";
+                             case RefineMode::kExclusiveNearestNeighbor:
+                               return "ExclusiveNN";
+                             case RefineMode::kExact:
+                               return "Exact";
+                           }
+                           return "unknown";
+                         });
+
+// Exact refinement must never be beaten by either heuristic on the same
+// local problem.
+TEST(RefineDifferenceTest, ExactRefinementDominatesHeuristics) {
+  test::InstanceSpec spec;
+  spec.nq = 4;
+  spec.np = 25;
+  spec.k_lo = 3;
+  spec.k_hi = 8;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    spec.seed = seed;
+    const Problem problem = test::RandomProblem(spec);
+    RefineTask task;
+    for (std::size_t i = 0; i < problem.providers.size(); ++i) {
+      task.providers.push_back(static_cast<int>(i));
+      task.quotas.push_back(problem.providers[i].capacity);
+    }
+    for (std::size_t j = 0; j < problem.customers.size(); ++j) {
+      task.customers.push_back(
+          RTree::Hit{static_cast<std::uint32_t>(j), problem.customers[j], 0.0});
+    }
+    Matching exact, nn, ex;
+    RefineGroup(problem, task, RefineMode::kExact, &exact);
+    RefineGroup(problem, task, RefineMode::kNearestNeighbor, &nn);
+    RefineGroup(problem, task, RefineMode::kExclusiveNearestNeighbor, &ex);
+    EXPECT_EQ(exact.size(), nn.size());
+    EXPECT_LE(exact.cost(), nn.cost() + 1e-9) << "seed " << seed;
+    EXPECT_LE(exact.cost(), ex.cost() + 1e-9) << "seed " << seed;
+  }
+}
+
+// The two heuristics differ on adversarial inputs: exclusive-NN commits to
+// the globally closest pair first.
+TEST(RefineDifferenceTest, ExclusivePicksGlobalClosestFirst) {
+  Problem problem;
+  problem.providers = {Provider{{0, 0}, 1}, Provider{{6, 0}, 1}};
+  problem.customers = {Point{5, 0}, Point{7, 0}};
+  // Pairs: (q0,p0)=5 (q0,p1)=7 (q1,p0)=1 (q1,p1)=1.
+  const RefineTask task{{0, 1}, {1, 1},
+                        {RTree::Hit{0, problem.customers[0], 0.0},
+                         RTree::Hit{1, problem.customers[1], 0.0}}};
+  Matching ex;
+  RefineGroup(problem, task, RefineMode::kExclusiveNearestNeighbor, &ex);
+  // Exclusive: q1 grabs p0 (dist 1), then q0 must take p1 (dist 7) = 8.
+  EXPECT_DOUBLE_EQ(ex.cost(), 8.0);
+  Matching nn;
+  RefineGroup(problem, task, RefineMode::kNearestNeighbor, &nn);
+  // Round-robin starting at q0: q0 takes p0 (5), q1 takes p1 (1) = 6.
+  EXPECT_DOUBLE_EQ(nn.cost(), 6.0);
+}
+
+}  // namespace
+}  // namespace cca

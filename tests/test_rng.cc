@@ -1,0 +1,69 @@
+// Deterministic RNG tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cca {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-5.0, 11.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 11.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,174 @@
+// Incremental NN iterator and grouped ANN searcher tests (paper 3.4.2).
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/ann_iterator.h"
+#include "rtree/nn_iterator.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+using test::ClusteredPoints;
+using test::RandomPoints;
+
+TEST(NnIteratorTest, FullDrainIsSortedAndComplete) {
+  const auto pts = RandomPoints(500, 21);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(pts, options);
+  const Point q{333, 444};
+  NnIterator it(tree.get(), q);
+  std::vector<RTree::Hit> seq;
+  while (auto hit = it.Next()) seq.push_back(*hit);
+  ASSERT_EQ(seq.size(), pts.size());
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_LE(seq[i - 1].dist, seq[i].dist + 1e-12);
+  }
+  // Against brute force distances.
+  std::vector<double> brute;
+  for (const auto& p : pts) brute.push_back(Distance(q, p));
+  std::sort(brute.begin(), brute.end());
+  for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_NEAR(seq[i].dist, brute[i], 1e-9);
+  // Exhausted iterator keeps returning nullopt.
+  EXPECT_FALSE(it.Next().has_value());
+  EXPECT_TRUE(std::isinf(it.PeekDistance()));
+}
+
+TEST(NnIteratorTest, PeekDoesNotConsume) {
+  const auto pts = RandomPoints(100, 22);
+  auto tree = RTree::BulkLoad(pts);
+  NnIterator it(tree.get(), {500, 500});
+  const double peek = it.PeekDistance();
+  const auto first = it.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->dist, peek);
+}
+
+TEST(NnIteratorTest, EmptyTree) {
+  RTree tree;
+  NnIterator it(&tree, {0, 0});
+  EXPECT_FALSE(it.Next().has_value());
+}
+
+TEST(HilbertGroupsTest, CoverAllProvidersOnce) {
+  const auto pts = RandomPoints(57, 23);
+  const auto groups = FormHilbertGroups(pts, 8, test::UnitWorld());
+  std::vector<char> seen(pts.size(), 0);
+  for (const auto& g : groups) {
+    EXPECT_LE(g.size(), 8u);
+    EXPECT_GE(g.size(), 1u);
+    for (int idx : g) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = 1;
+    }
+  }
+  for (char s : seen) EXPECT_TRUE(s);
+}
+
+struct AnnCase {
+  std::size_t providers;
+  std::size_t customers;
+  std::size_t group_size;
+  bool clustered;
+  std::uint64_t seed;
+};
+
+class GroupAnnTest : public ::testing::TestWithParam<AnnCase> {};
+
+// The grouped searcher must emit, per provider, exactly the same NN
+// sequence as an independent best-first iterator.
+TEST_P(GroupAnnTest, MatchesIndependentIterators) {
+  const auto& param = GetParam();
+  const auto customers = param.clustered ? ClusteredPoints(param.customers, param.seed)
+                                         : RandomPoints(param.customers, param.seed);
+  const auto providers = RandomPoints(param.providers, param.seed + 100);
+  RTree::Options options;
+  options.page_size = 256;
+  auto tree = RTree::BulkLoad(customers, options);
+
+  const auto groups = FormHilbertGroups(providers, param.group_size, test::UnitWorld());
+  GroupAnnSearcher searcher(tree.get(), providers, groups);
+
+  // Interleave provider advances pseudo-randomly to stress shared state.
+  std::vector<NnIterator> ref;
+  for (const auto& q : providers) ref.emplace_back(tree.get(), q);
+  std::vector<std::size_t> remaining(providers.size(), std::min<std::size_t>(40, customers.size()));
+  Rng rng(param.seed + 7);
+  std::size_t total = 0;
+  for (auto r : remaining) total += r;
+  while (total > 0) {
+    const auto q = static_cast<std::size_t>(rng.NextBelow(providers.size()));
+    if (remaining[q] == 0) continue;
+    const auto got = searcher.NextNN(static_cast<int>(q));
+    const auto want = ref[q].Next();
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got) {
+      EXPECT_NEAR(got->dist, want->dist, 1e-9) << "provider " << q;
+    }
+    --remaining[q];
+    --total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, GroupAnnTest,
+                         ::testing::Values(AnnCase{1, 200, 4, false, 31},
+                                           AnnCase{6, 300, 2, false, 32},
+                                           AnnCase{10, 400, 5, true, 33},
+                                           AnnCase{17, 500, 8, true, 34},
+                                           AnnCase{5, 100, 16, false, 35}));
+
+TEST(GroupAnnTest, ExhaustsDataset) {
+  const auto customers = RandomPoints(50, 36);
+  const auto providers = RandomPoints(3, 37);
+  auto tree = RTree::BulkLoad(customers);
+  const auto groups = FormHilbertGroups(providers, 3, test::UnitWorld());
+  GroupAnnSearcher searcher(tree.get(), providers, groups);
+  for (int q = 0; q < 3; ++q) {
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+      EXPECT_TRUE(searcher.NextNN(q).has_value());
+    }
+    EXPECT_FALSE(searcher.NextNN(q).has_value());
+  }
+}
+
+TEST(GroupAnnTest, SharedTraversalSavesNodeAccesses) {
+  // Nearby providers in one group should touch far fewer nodes than
+  // independent traversals when each consumes many NNs.
+  const auto customers = RandomPoints(4000, 38);
+  std::vector<Point> providers;
+  for (int i = 0; i < 8; ++i) providers.push_back(Point{500.0 + i, 500.0 + i});
+  RTree::Options options;
+  options.page_size = 256;
+
+  auto tree_a = RTree::BulkLoad(customers, options);
+  tree_a->ResetCounters();
+  {
+    std::vector<NnIterator> its;
+    for (const auto& q : providers) its.emplace_back(tree_a.get(), q);
+    for (auto& it : its) {
+      for (int i = 0; i < 200; ++i) it.Next();
+    }
+  }
+  const auto independent = tree_a->node_accesses();
+
+  auto tree_b = RTree::BulkLoad(customers, options);
+  tree_b->ResetCounters();
+  {
+    const auto groups = FormHilbertGroups(providers, 8, test::UnitWorld());
+    GroupAnnSearcher searcher(tree_b.get(), providers, groups);
+    for (int q = 0; q < 8; ++q) {
+      for (int i = 0; i < 200; ++i) searcher.NextNN(q);
+    }
+  }
+  const auto grouped = tree_b->node_accesses();
+  EXPECT_LT(grouped * 2, independent);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,111 @@
+// R*-style axis split tests: structural invariants, query equivalence with
+// the quadratic split, and split quality on clustered data.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+RTree::Options RStarOptions(std::uint32_t page_size = 256) {
+  RTree::Options options;
+  options.page_size = page_size;
+  options.split_policy = RTree::SplitPolicy::kRStarAxis;
+  return options;
+}
+
+class RStarBuildTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RStarBuildTest, InvariantsHoldAcrossSizes) {
+  RTree tree(RStarOptions());
+  const auto pts = test::RandomPoints(GetParam(), 301 + GetParam());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(tree.size(), pts.size());
+  std::string error;
+  EXPECT_TRUE(tree.CheckInvariants(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RStarBuildTest,
+                         ::testing::Values<std::size_t>(12, 50, 200, 1000, 3000));
+
+TEST(RStarSplitTest, QueriesMatchQuadraticTree) {
+  const auto pts = test::ClusteredPoints(2500, 310);
+  RTree quadratic((RTree::Options{.page_size = 256}));
+  RTree rstar(RStarOptions());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    quadratic.Insert(pts[i], static_cast<std::uint32_t>(i));
+    rstar.Insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  Rng rng(311);
+  std::vector<RTree::Hit> a, b;
+  for (int iter = 0; iter < 20; ++iter) {
+    const Point c{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const double r = rng.Uniform(5, 200);
+    quadratic.RangeSearch(c, r, &a);
+    rstar.RangeSearch(c, r, &b);
+    EXPECT_EQ(a.size(), b.size()) << "radius " << r;
+  }
+}
+
+TEST(RStarSplitTest, MinFillRespected) {
+  // Split halves must each hold at least min_fill entries; verify via the
+  // structural checker plus a direct scan of leaf occupancy.
+  RTree tree(RStarOptions(512));
+  const auto pts = test::RandomPoints(4000, 312);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  std::string error;
+  ASSERT_TRUE(tree.CheckInvariants(&error)) << error;
+  const auto min_leaf = static_cast<std::size_t>(
+      0.4 * RTreeNode::LeafCapacity(512));
+  // Scan all leaves via a full-range query pattern: walk pages directly.
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const RTreeNode node = tree.ReadNode(page);
+    if (node.is_leaf) {
+      if (page != tree.root()) EXPECT_GE(node.leaf_entries.size(), min_leaf);
+    } else {
+      for (const auto& e : node.entries) stack.push_back(e.child);
+    }
+  }
+}
+
+TEST(RStarSplitTest, LowerOverlapThanQuadraticOnStripedData) {
+  // Data in thin horizontal stripes: axis-aware splits should produce
+  // clearly fewer node accesses for stripe-aligned range queries.
+  std::vector<Point> pts;
+  Rng rng(313);
+  for (int stripe = 0; stripe < 10; ++stripe) {
+    for (int i = 0; i < 300; ++i) {
+      pts.push_back(Point{rng.Uniform(0, 1000), stripe * 100.0 + rng.Uniform(0, 4.0)});
+    }
+  }
+  RTree quadratic((RTree::Options{.page_size = 256}));
+  RTree rstar(RStarOptions());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    quadratic.Insert(pts[i], static_cast<std::uint32_t>(i));
+    rstar.Insert(pts[i], static_cast<std::uint32_t>(i));
+  }
+  quadratic.ResetCounters();
+  rstar.ResetCounters();
+  std::vector<RTree::Hit> hits;
+  for (int stripe = 0; stripe < 10; ++stripe) {
+    for (double x = 50; x < 1000; x += 100) {
+      quadratic.RangeSearch({x, stripe * 100.0 + 2.0}, 8.0, &hits);
+      rstar.RangeSearch({x, stripe * 100.0 + 2.0}, 8.0, &hits);
+    }
+  }
+  // Not asserting a specific factor (data dependent), but R* must not be
+  // meaningfully worse.
+  EXPECT_LE(rstar.node_accesses(), quadratic.node_accesses() * 11 / 10);
+}
+
+}  // namespace
+}  // namespace cca

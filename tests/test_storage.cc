@@ -1,0 +1,122 @@
+// Paged storage and LRU buffer pool tests.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace cca {
+namespace {
+
+std::vector<std::uint8_t> Filled(std::uint32_t size, std::uint8_t value) {
+  return std::vector<std::uint8_t>(size, value);
+}
+
+TEST(PageFileTest, AllocateReadWrite) {
+  PageFile file(256);
+  const PageId a = file.Allocate();
+  const PageId b = file.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(file.page_count(), 2u);
+
+  const auto data = Filled(256, 0xAB);
+  file.Write(a, data.data());
+  std::vector<std::uint8_t> out(256);
+  file.Read(a, out.data());
+  EXPECT_EQ(out, data);
+  // Fresh pages read back zeroed.
+  file.Read(b, out.data());
+  EXPECT_EQ(out, Filled(256, 0));
+  EXPECT_EQ(file.physical_reads(), 2u);
+  EXPECT_EQ(file.physical_writes(), 1u);
+}
+
+TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
+  PageFile file(128);
+  const PageId p = file.Allocate();
+  BufferPool pool(&file, 4);
+  std::vector<std::uint8_t> out(128);
+  pool.ReadPage(p, out.data());
+  pool.ReadPage(p, out.data());
+  pool.ReadPage(p, out.data());
+  EXPECT_EQ(pool.stats().logical_reads, 3u);
+  EXPECT_EQ(pool.stats().faults, 1u);
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(file.physical_reads(), 1u);
+  EXPECT_NEAR(pool.stats().hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  PageFile file(64);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(file.Allocate());
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+
+  pool.ReadPage(pages[0], out.data());  // cache: {0}
+  pool.ReadPage(pages[1], out.data());  // cache: {1, 0}
+  pool.ReadPage(pages[0], out.data());  // hit; cache: {0, 1}
+  pool.ReadPage(pages[2], out.data());  // evicts 1; cache: {2, 0}
+  pool.ReadPage(pages[0], out.data());  // still a hit
+  EXPECT_EQ(pool.stats().hits, 2u);
+  pool.ReadPage(pages[1], out.data());  // fault again (was evicted)
+  EXPECT_EQ(pool.stats().faults, 4u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysFaults) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  BufferPool pool(&file, 0);
+  std::vector<std::uint8_t> out(64);
+  pool.ReadPage(p, out.data());
+  pool.ReadPage(p, out.data());
+  EXPECT_EQ(pool.stats().faults, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPoolTest, WriteThroughKeepsCacheCoherent) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+  pool.ReadPage(p, out.data());  // cache the zero page
+
+  const auto data = Filled(64, 0x5C);
+  pool.WritePage(p, data.data());
+  pool.ReadPage(p, out.data());  // must observe the write, served from cache
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(pool.stats().faults, 1u);
+  EXPECT_EQ(file.physical_writes(), 1u);
+}
+
+TEST(BufferPoolTest, ShrinkEvicts) {
+  PageFile file(64);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(file.Allocate());
+  BufferPool pool(&file, 4);
+  std::vector<std::uint8_t> out(64);
+  for (const PageId p : pages) pool.ReadPage(p, out.data());
+  pool.SetCapacity(1);
+  pool.ReadPage(pages[3], out.data());  // MRU page should have survived
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.ReadPage(pages[0], out.data());
+  EXPECT_EQ(pool.stats().faults, 5u);
+}
+
+TEST(BufferPoolTest, ClearDropsContentKeepsStats) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+  pool.ReadPage(p, out.data());
+  pool.Clear();
+  pool.ReadPage(p, out.data());
+  EXPECT_EQ(pool.stats().faults, 2u);
+  EXPECT_EQ(pool.stats().logical_reads, 2u);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,102 @@
+// Theorem-2 fast path behaviour in IDA.
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "flow/sspa.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+// With capacities so large that no provider ever fills, IDA must complete
+// the whole assignment on the fast path: zero Dijkstra executions.
+TEST(Theorem2Test, NoDijkstraWhenNoProviderFills) {
+  test::InstanceSpec spec;
+  spec.nq = 5;
+  spec.np = 60;
+  spec.k_lo = 100;  // sum k >> |P|
+  spec.k_hi = 100;
+  spec.seed = 3;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+  EXPECT_EQ(ida.metrics.dijkstra_runs, 0u);
+  EXPECT_EQ(ida.metrics.fast_path_assigns, static_cast<std::uint64_t>(problem.Gamma()));
+  EXPECT_NEAR(ida.matching.cost(), SolveSspa(problem).matching.cost(), 1e-6);
+}
+
+// The fast-path result in the abundant regime equals the independent
+// greedy-by-global-NN argument: every customer goes to its nearest
+// provider (no capacity pressure at all).
+TEST(Theorem2Test, AbundantCapacityEqualsNearestProvider) {
+  test::InstanceSpec spec;
+  spec.nq = 4;
+  spec.np = 40;
+  spec.k_lo = 50;
+  spec.k_hi = 50;
+  spec.seed = 7;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+  double nn_cost = 0.0;
+  for (const auto& p : problem.customers) {
+    double best = 1e100;
+    for (const auto& q : problem.providers) best = std::min(best, Distance(q.pos, p));
+    nn_cost += best;
+  }
+  EXPECT_NEAR(ida.matching.cost(), nn_cost, 1e-6);
+}
+
+// Tight capacities: the fast path must hand over to the general phase the
+// moment the first provider fills, and stay optimal.
+TEST(Theorem2Test, HandoverToGeneralPhase) {
+  for (std::uint64_t seed = 11; seed < 19; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 4;
+    spec.np = 40;
+    spec.k_lo = 2;
+    spec.k_hi = 4;
+    spec.seed = seed;
+    const Problem problem = test::RandomProblem(spec);
+    auto db = test::MakeDb(problem);
+    const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+    EXPECT_GT(ida.metrics.fast_path_assigns, 0u) << "seed " << seed;
+    EXPECT_GT(ida.metrics.dijkstra_runs, 0u) << "seed " << seed;
+    EXPECT_NEAR(ida.matching.cost(), SolveSspa(problem).matching.cost(), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+// Fast-path assignments must save work compared to NIA on the same
+// instance: strictly fewer Dijkstra executions.
+TEST(Theorem2Test, FewerDijkstraRunsThanNia) {
+  test::InstanceSpec spec;
+  spec.nq = 6;
+  spec.np = 120;
+  spec.k_lo = 10;
+  spec.k_hi = 14;
+  spec.seed = 21;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  const ExactResult nia = SolveNia(problem, db.get(), ExactConfig{});
+  const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+  EXPECT_LT(ida.metrics.dijkstra_runs, nia.metrics.dijkstra_runs);
+  EXPECT_NEAR(ida.matching.cost(), nia.matching.cost(), 1e-6);
+}
+
+// A provider with zero capacity disables the fast path from the start
+// (some provider is trivially "full"); IDA must still be exact.
+TEST(Theorem2Test, ZeroCapacityProviderDisablesFastPath) {
+  Problem problem;
+  problem.providers = {Provider{{100, 100}, 0}, Provider{{200, 200}, 3}};
+  problem.customers = {Point{110, 100}, Point{190, 200}, Point{300, 300}};
+  auto db = test::MakeDb(problem);
+  const ExactResult ida = SolveIda(problem, db.get(), ExactConfig{});
+  EXPECT_EQ(ida.metrics.fast_path_assigns, 0u);
+  EXPECT_EQ(ida.matching.size(), 3);
+  for (const auto& pair : ida.matching.pairs) EXPECT_EQ(pair.provider, 1);
+  EXPECT_NEAR(ida.matching.cost(), SolveSspa(problem).matching.cost(), 1e-6);
+}
+
+}  // namespace
+}  // namespace cca

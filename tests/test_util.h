@@ -1,0 +1,94 @@
+// Shared helpers for the CCA test suites: deterministic random instance
+// builders and solver comparison utilities.
+#ifndef CCA_TESTS_TEST_UTIL_H_
+#define CCA_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/customer_db.h"
+#include "core/problem.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace cca::test {
+
+inline Rect UnitWorld() { return Rect{{0.0, 0.0}, {1000.0, 1000.0}}; }
+
+// Uniform random points in the [0,1000]^2 world.
+inline std::vector<Point> RandomPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+  }
+  return pts;
+}
+
+// Clustered points: `clusters` Gaussian blobs plus 20% uniform noise.
+inline std::vector<Point> ClusteredPoints(std::size_t n, std::uint64_t seed, int clusters = 5,
+                                          double sigma = 40.0) {
+  Rng rng(seed);
+  std::vector<Point> centres;
+  for (int c = 0; c < clusters; ++c) {
+    centres.push_back(Point{rng.Uniform(100.0, 900.0), rng.Uniform(100.0, 900.0)});
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.2) {
+      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+    } else {
+      const auto& c = centres[static_cast<std::size_t>(rng.NextBelow(centres.size()))];
+      const double x = std::min(1000.0, std::max(0.0, c.x + rng.NextGaussian() * sigma));
+      const double y = std::min(1000.0, std::max(0.0, c.y + rng.NextGaussian() * sigma));
+      pts.push_back(Point{x, y});
+    }
+  }
+  return pts;
+}
+
+struct InstanceSpec {
+  std::size_t nq = 4;
+  std::size_t np = 30;
+  std::int32_t k_lo = 2;      // capacities drawn uniformly from [k_lo, k_hi]
+  std::int32_t k_hi = 6;
+  bool clustered_q = false;
+  bool clustered_p = false;
+  std::uint64_t seed = 1;
+};
+
+// Builds a random CCA instance per `spec` (unit customer weights).
+inline Problem RandomProblem(const InstanceSpec& spec) {
+  Problem problem;
+  const auto q_pts = spec.clustered_q ? ClusteredPoints(spec.nq, spec.seed * 7 + 1)
+                                      : RandomPoints(spec.nq, spec.seed * 7 + 1);
+  const auto p_pts = spec.clustered_p ? ClusteredPoints(spec.np, spec.seed * 13 + 2)
+                                      : RandomPoints(spec.np, spec.seed * 13 + 2);
+  Rng rng(spec.seed * 31 + 3);
+  problem.providers.reserve(spec.nq);
+  for (const auto& pos : q_pts) {
+    problem.providers.push_back(
+        Provider{pos, static_cast<std::int32_t>(rng.UniformInt(spec.k_lo, spec.k_hi))});
+  }
+  problem.customers = p_pts;
+  return problem;
+}
+
+// Builds an in-memory CustomerDb (small pages to force realistic fanout
+// even for small instances).
+inline std::unique_ptr<CustomerDb> MakeDb(const Problem& problem, double buffer_fraction = 1.5,
+                                          std::uint32_t page_size = 512) {
+  CustomerDb::Options options;
+  options.rtree.page_size = page_size;
+  options.buffer_fraction = buffer_fraction;
+  return std::make_unique<CustomerDb>(problem.customers, options);
+}
+
+}  // namespace cca::test
+
+#endif  // CCA_TESTS_TEST_UTIL_H_
