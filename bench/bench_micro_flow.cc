@@ -1,62 +1,148 @@
-// Micro-benchmarks for the flow kernel and solvers (google-benchmark).
-#include <benchmark/benchmark.h>
+// Micro-benchmark for the SSPA flow kernel: dense relax scan vs. the
+// grid-pruned relax, across problem sizes.
+//
+// Prints a human-readable table and writes a machine-readable
+// `BENCH_sspa.json` (array of runs: n_q, n_p, k, mode, relaxes, pruned,
+// pops, rings, millis, cost) so successive PRs can track the perf
+// trajectory. Usage:
+//
+//   bench_micro_flow [--out BENCH_sspa.json] [--max-np N] [--dense-max-np N]
+//
+// --dense-max-np caps the sizes the dense baseline is run at (the dense
+// scan is quadratic; the default still covers the 10k-customer point the
+// acceptance bar is measured at).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "core/exact.h"
 #include "flow/sspa.h"
 #include "gen/generator.h"
 
 namespace {
 
-cca::Problem MakeProblem(std::size_t nq, std::size_t np, std::int32_t k) {
+cca::Problem MakeUniformProblem(std::size_t nq, std::size_t np, std::int32_t k) {
   static cca::RoadNetwork net = cca::DefaultNetwork(99);
   cca::DatasetSpec q_spec;
   q_spec.count = nq;
   q_spec.seed = 5;
+  q_spec.distribution = cca::PointDistribution::kUniform;
   cca::DatasetSpec p_spec;
   p_spec.count = np;
   p_spec.seed = 6;
+  p_spec.distribution = cca::PointDistribution::kUniform;
   return cca::MakeProblem(net, q_spec, p_spec, cca::FixedCapacities(nq, k));
 }
 
-void BM_Sspa(benchmark::State& state) {
-  const auto problem =
-      MakeProblem(static_cast<std::size_t>(state.range(0)),
-                  static_cast<std::size_t>(state.range(1)), 10);
-  for (auto _ : state) {
-    const auto result = cca::SolveSspa(problem);
-    benchmark::DoNotOptimize(result.matching.cost());
-  }
-}
-BENCHMARK(BM_Sspa)->Args({10, 200})->Args({20, 500})->Args({50, 1000});
+struct Run {
+  std::size_t nq;
+  std::size_t np;
+  std::int32_t k;
+  const char* mode;
+  cca::SspaResult result;
+};
 
-void BM_Ida(benchmark::State& state) {
-  const auto problem =
-      MakeProblem(static_cast<std::size_t>(state.range(0)),
-                  static_cast<std::size_t>(state.range(1)), 10);
-  cca::CustomerDb::Options options;
-  options.buffer_fraction = 2.0;
-  cca::CustomerDb db(problem.customers, options);
-  for (auto _ : state) {
-    const auto result = cca::SolveIda(problem, &db, cca::ExactConfig{});
-    benchmark::DoNotOptimize(result.matching.cost());
-  }
+void PrintRow(const Run& r) {
+  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %10llu %10.1f %12.1f\n", r.nq, r.np, r.k,
+              r.mode, static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
+              static_cast<unsigned long long>(r.result.metrics.relaxes_pruned),
+              static_cast<unsigned long long>(r.result.metrics.dijkstra_pops),
+              static_cast<unsigned long long>(r.result.metrics.grid_rings_scanned),
+              r.result.metrics.cpu_millis, r.result.matching.cost());
+  std::fflush(stdout);
 }
-BENCHMARK(BM_Ida)->Args({10, 200})->Args({20, 500})->Args({50, 1000})->Args({100, 5000});
 
-void BM_Nia(benchmark::State& state) {
-  const auto problem =
-      MakeProblem(static_cast<std::size_t>(state.range(0)),
-                  static_cast<std::size_t>(state.range(1)), 10);
-  cca::CustomerDb::Options options;
-  options.buffer_fraction = 2.0;
-  cca::CustomerDb db(problem.customers, options);
-  for (auto _ : state) {
-    const auto result = cca::SolveNia(problem, &db, cca::ExactConfig{});
-    benchmark::DoNotOptimize(result.matching.cost());
+void WriteJson(const std::vector<Run>& runs, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
   }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    const auto& m = r.result.metrics;
+    std::fprintf(f,
+                 "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
+                 "\"relaxes\": %llu, \"relaxes_pruned\": %llu, \"pops\": %llu, "
+                 "\"grid_rings_scanned\": %llu, \"augmentations\": %llu, "
+                 "\"millis\": %.3f, \"cost\": %.3f}%s\n",
+                 r.nq, r.np, r.k, r.mode, static_cast<unsigned long long>(m.dijkstra_relaxes),
+                 static_cast<unsigned long long>(m.relaxes_pruned),
+                 static_cast<unsigned long long>(m.dijkstra_pops),
+                 static_cast<unsigned long long>(m.grid_rings_scanned),
+                 static_cast<unsigned long long>(m.augmentations), m.cpu_millis,
+                 r.result.matching.cost(), i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu runs to %s\n", runs.size(), path.c_str());
 }
-BENCHMARK(BM_Nia)->Args({10, 200})->Args({20, 500})->Args({50, 1000});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sspa.json";
+  std::size_t max_np = 20000;
+  std::size_t dense_max_np = 10000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") {
+      out_path = next();
+    } else if (flag == "--max-np") {
+      max_np = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--dense-max-np") {
+      dense_max_np = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "usage: bench_micro_flow [--out FILE] [--max-np N] [--dense-max-np N]\n");
+      return 2;
+    }
+  }
+
+  struct Shape {
+    std::size_t nq, np;
+    std::int32_t k;
+  };
+  const Shape shapes[] = {
+      {10, 200, 10},  {20, 500, 10},   {50, 1000, 10},
+      {50, 5000, 40}, {100, 10000, 40}, {100, 20000, 80},
+  };
+
+  std::printf("%6s %8s %4s %-6s %14s %14s %12s %10s %10s %12s\n", "nq", "np", "k", "mode",
+              "relaxes", "pruned", "pops", "rings", "millis", "cost");
+  std::vector<Run> runs;
+  for (const Shape& s : shapes) {
+    if (s.np > max_np) continue;
+    const cca::Problem problem = MakeUniformProblem(s.nq, s.np, s.k);
+    cca::SspaConfig grid_config;
+    grid_config.use_grid = true;
+    runs.push_back(Run{s.nq, s.np, s.k, "grid", cca::SolveSspa(problem, grid_config)});
+    PrintRow(runs.back());
+    if (s.np <= dense_max_np) {
+      cca::SspaConfig dense_config;
+      dense_config.use_grid = false;
+      runs.push_back(Run{s.nq, s.np, s.k, "dense", cca::SolveSspa(problem, dense_config)});
+      PrintRow(runs.back());
+      const Run& g = runs[runs.size() - 2];
+      const Run& d = runs[runs.size() - 1];
+      if (std::strcmp(g.mode, "grid") == 0 &&
+          std::abs(g.result.matching.cost() - d.result.matching.cost()) >
+              1e-6 * std::max(1.0, d.result.matching.cost())) {
+        std::fprintf(stderr, "COST MISMATCH grid=%.6f dense=%.6f at nq=%zu np=%zu\n",
+                     g.result.matching.cost(), d.result.matching.cost(), s.nq, s.np);
+        return 1;
+      }
+    }
+  }
+  WriteJson(runs, out_path);
+  return 0;
+}

@@ -5,7 +5,10 @@
 // Usage:
 //   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
-//           [--seed S] [--no-pua] [--no-ann]
+//           [--seed S] [--no-pua] [--no-ann] [--dense]
+//
+// --dense switches SSPA to the literal every-customer relax scan (the
+// grid-pruned relax is the default); use it for A/B comparisons.
 //
 // Output: one `key=value` line per metric (easy to grep / parse).
 #include <cstdio>
@@ -34,6 +37,7 @@ struct Args {
   std::uint64_t seed = 1;
   bool use_pua = true;
   bool use_ann = true;
+  bool dense_sspa = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -68,6 +72,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->use_pua = false;
     } else if (flag == "--no-ann") {
       args->use_ann = false;
+    } else if (flag == "--dense") {
+      args->dense_sspa = true;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -87,7 +93,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
-                 "               [--seed S] [--no-pua] [--no-ann]\n");
+                 "               [--seed S] [--no-pua] [--no-ann] [--dense]\n");
     return 2;
   }
 
@@ -127,7 +133,9 @@ int main(int argc, char** argv) {
     matching = std::move(r.matching);
     metrics = r.metrics;
   } else if (args.solver == "sspa") {
-    SspaResult r = SolveSspa(problem);
+    SspaConfig config;
+    config.use_grid = !args.dense_sspa;
+    SspaResult r = SolveSspa(problem, config);
     matching = std::move(r.matching);
     metrics = r.metrics;
   } else if (args.solver == "sa" || args.solver == "ca") {
@@ -155,6 +163,11 @@ int main(int argc, char** argv) {
               valid ? "" : error.c_str());
   std::printf("esub=%llu\n", static_cast<unsigned long long>(metrics.edges_inserted));
   std::printf("dijkstra_runs=%llu\n", static_cast<unsigned long long>(metrics.dijkstra_runs));
+  std::printf("dijkstra_relaxes=%llu\n",
+              static_cast<unsigned long long>(metrics.dijkstra_relaxes));
+  std::printf("relaxes_pruned=%llu\n", static_cast<unsigned long long>(metrics.relaxes_pruned));
+  std::printf("grid_rings_scanned=%llu\n",
+              static_cast<unsigned long long>(metrics.grid_rings_scanned));
   std::printf("page_faults=%llu\n", static_cast<unsigned long long>(metrics.page_faults));
   std::printf("cpu_ms=%.1f\n", metrics.cpu_millis);
   std::printf("io_ms=%.1f\n", metrics.io_millis());

@@ -13,6 +13,8 @@ void Metrics::Accumulate(const Metrics& other) {
   augmentations += other.augmentations;
   invalid_paths += other.invalid_paths;
   fast_path_assigns += other.fast_path_assigns;
+  grid_rings_scanned += other.grid_rings_scanned;
+  relaxes_pruned += other.relaxes_pruned;
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;

@@ -31,6 +31,8 @@ struct Metrics {
   std::uint64_t augmentations = 0;     // accepted (valid) shortest paths
   std::uint64_t invalid_paths = 0;     // Theorem-1 rejections
   std::uint64_t fast_path_assigns = 0; // Theorem-2 direct assignments
+  std::uint64_t grid_rings_scanned = 0;  // grid rings visited by pruned SSPA
+  std::uint64_t relaxes_pruned = 0;    // relaxations skipped by ring/cell bounds
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served

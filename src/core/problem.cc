@@ -1,8 +1,29 @@
 #include "core/problem.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cca {
+
+void PointsSoA::Assign(const std::vector<Point>& points) {
+  x.resize(points.size());
+  y.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    x[i] = points[i].x;
+    y[i] = points[i].y;
+  }
+}
+
+void DistanceBlock(const Point& q, const double* xs, const double* ys, std::size_t n,
+                   double* out) {
+  const double qx = q.x;
+  const double qy = q.y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - qx;
+    const double dy = ys[i] - qy;
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
 
 std::int64_t Problem::TotalCapacity() const {
   std::int64_t total = 0;

@@ -15,6 +15,30 @@ struct Provider {
   std::int32_t capacity = 1;  // q.k: how many customers q can serve
 };
 
+// Structure-of-arrays view of a point set. The hot solver loops (SSPA
+// relaxations, grid cell scans) stream coordinates sequentially; splitting
+// x and y into separate contiguous arrays lets the blocked distance kernel
+// below vectorize instead of striding over Point pairs.
+struct PointsSoA {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  PointsSoA() = default;
+  explicit PointsSoA(const std::vector<Point>& points) { Assign(points); }
+
+  void Assign(const std::vector<Point>& points);
+  std::size_t size() const { return x.size(); }
+  Point at(std::size_t i) const { return Point{x[i], y[i]}; }
+};
+
+// Blocked distance kernel: writes dist(q, (xs[i], ys[i])) into out[i] for
+// i in [0, n). Plain contiguous loads + one sqrt per lane, so compilers
+// auto-vectorize it (the library builds with -fno-math-errno to allow SIMD
+// sqrt). Callers stream it over cell slices / kDistanceBlock-sized chunks.
+inline constexpr std::size_t kDistanceBlock = 256;
+void DistanceBlock(const Point& q, const double* xs, const double* ys, std::size_t n,
+                   double* out);
+
 // A CCA instance. Customers optionally carry integer weights: the exact
 // problem uses unit weights, while the CA approximation (paper Section 4.2)
 // solves a concise instance whose "customers" are group representatives
@@ -37,6 +61,10 @@ struct Problem {
 
   // Bounding box of all providers and customers.
   Rect World() const;
+
+  // SoA snapshot of the customer coordinates (built on demand: Problem is a
+  // mutable value type, so callers take the snapshot once per solve).
+  PointsSoA CustomerCoords() const { return PointsSoA(customers); }
 };
 
 }  // namespace cca

@@ -3,23 +3,33 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/indexed_heap.h"
 #include "common/timer.h"
+#include "geo/grid.h"
 
 namespace cca {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Dense SSPA state. Node ids: providers [0, nq), customers [nq, nq+np),
-// sink t = nq+np. The source is implicit: Dijkstra seeds every provider
-// with remaining capacity at alpha = tau(q) (reduced cost of s->q).
-class DenseSspa {
+// SSPA solver. Node ids: providers [0, nq), customers [nq, nq+np), sink
+// t = nq+np. The source is implicit: Dijkstra seeds every provider with
+// remaining capacity at alpha = tau(q) (reduced cost of s->q).
+//
+// Flow records: with unit customers a customer holds at most one inbound
+// unit (conservation against the capacity-1 sink edge), so the assignment
+// lives in a flat `serving_` array and the residual-edge test in the relax
+// hot loop is a single compare. Weighted customers keep per-customer flow
+// lists sorted by provider id (binary-searched, only touched off the hot
+// path).
+class SspaSolver {
  public:
-  explicit DenseSspa(const Problem& problem)
+  SspaSolver(const Problem& problem, const SspaConfig& config)
       : problem_(problem),
+        config_(config),
         nq_(problem.providers.size()),
         np_(problem.customers.size()),
         unit_customers_(problem.weights.empty()),
@@ -27,10 +37,15 @@ class DenseSspa {
         tau_p_(np_, 0.0),
         used_q_(nq_, 0),
         sink_flow_(np_, 0),
-        flows_(np_),
+        serving_(unit_customers_ ? np_ : 0, -1),
+        flows_(unit_customers_ ? 0 : np_),
         alpha_(nq_ + np_ + 1, kInf),
         prev_(nq_ + np_ + 1, -1),
-        heap_(nq_ + np_ + 1) {}
+        heap_(nq_ + np_ + 1) {
+    if (config_.use_grid && np_ > 0) {
+      grid_ = std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
+    }
+  }
 
   SspaResult Run() {
     Timer timer;
@@ -53,13 +68,6 @@ class DenseSspa {
  private:
   int Sink() const { return static_cast<int>(nq_ + np_); }
 
-  bool HasFlow(std::size_t q, std::size_t p) const {
-    for (const auto& f : flows_[p]) {
-      if (static_cast<std::size_t>(f.provider) == q) return true;
-    }
-    return false;
-  }
-
   // One Dijkstra run over the residual graph with reduced costs; returns
   // the shortest-path cost to the sink. Fills `touched_` with de-heaped
   // nodes (all have alpha <= D).
@@ -67,8 +75,16 @@ class DenseSspa {
     ++metrics->dijkstra_runs;
     heap_.Clear();
     touched_.clear();
+    run_ub_ = kInf;
     std::fill(alpha_.begin(), alpha_.end(), kInf);
     std::fill(prev_.begin(), prev_.end(), -1);
+    if (grid_) {
+      // Floor of tau(p) over every customer: together with a ring's
+      // geometric mindist it lower-bounds the reduced cost of all edges
+      // into the ring. Recomputed per run (potentials moved since).
+      min_tau_p_ = 0.0;
+      if (np_ > 0) min_tau_p_ = *std::min_element(tau_p_.begin(), tau_p_.end());
+    }
     for (std::size_t q = 0; q < nq_; ++q) {
       if (used_q_[q] < problem_.providers[q].capacity) {
         alpha_[q] = tau_q_[q];
@@ -82,7 +98,11 @@ class DenseSspa {
       if (u == Sink()) return key;
       touched_.push_back(u);
       if (static_cast<std::size_t>(u) < nq_) {
-        RelaxProvider(static_cast<std::size_t>(u), metrics);
+        if (grid_) {
+          RelaxProviderGrid(static_cast<std::size_t>(u), metrics);
+        } else {
+          RelaxProviderDense(static_cast<std::size_t>(u), metrics);
+        }
       } else {
         RelaxCustomer(static_cast<std::size_t>(u) - nq_, metrics);
       }
@@ -98,14 +118,71 @@ class DenseSspa {
     }
   }
 
-  void RelaxProvider(std::size_t q, Metrics* metrics) {
+  // Forward-relaxes the edges q -> {customers in the slice}. `ids` indexes
+  // the global customer arrays; `xs`/`ys` are the matching coordinate
+  // slices (cell-clustered in grid mode, the plain SoA in dense mode).
+  void RelaxSlice(std::size_t q, const Point& q_pos, const std::int32_t* ids, const double* xs,
+                  const double* ys, std::size_t count, Metrics* metrics) {
+    double dist[kDistanceBlock];
+    const double base = alpha_[q] - tau_q_[q];
+    for (std::size_t begin = 0; begin < count; begin += kDistanceBlock) {
+      const std::size_t block = std::min(kDistanceBlock, count - begin);
+      DistanceBlock(q_pos, xs + begin, ys + begin, block, dist);
+      for (std::size_t i = 0; i < block; ++i) {
+        const auto p = static_cast<std::size_t>(ids[begin + i]);
+        // A saturated unit edge only has its reverse direction left.
+        if (unit_customers_ && serving_[p] == static_cast<std::int32_t>(q)) continue;
+        ++metrics->dijkstra_relaxes;
+        const double w = dist[i] + base + tau_p_[p];
+        const double cand = std::max(w, alpha_[q]);
+        // p with sink residual completes an s~>q->p->t path of cost `cand`
+        // (tau(p) >= 0, so the p->t reduced cost is 0): `cand` upper-bounds
+        // this run's shortest-path cost, which arms the ring early exit
+        // even before the sink holds a tentative label.
+        if (cand < run_ub_ && sink_flow_[p] < problem_.weight(p)) run_ub_ = cand;
+        Relax(static_cast<int>(nq_ + p), cand, static_cast<int>(q));
+      }
+    }
+  }
+
+  void RelaxProviderDense(std::size_t q, Metrics* metrics) {
+    EnsureDenseArrays();
+    RelaxSlice(q, problem_.providers[q].pos, identity_.data(), coords_.x.data(), coords_.y.data(),
+               np_, metrics);
+  }
+
+  // Grid-pruned relax: pull candidates cell-by-cell in rings of increasing
+  // minimum distance from q, and stop as soon as the lower bound on the
+  // label any remaining customer could receive
+  //     alpha(q) + max(ring_mindist - tau(q) + min_p tau(p), 0)
+  // reaches the tentative sink label: such labels can neither beat the
+  // shortest path of this run nor move the potentials afterwards (the
+  // invariant is spelled out in src/flow/README.md).
+  void RelaxProviderGrid(std::size_t q, Metrics* metrics) {
     const Point q_pos = problem_.providers[q].pos;
-    for (std::size_t p = 0; p < np_; ++p) {
-      // A saturated unit edge only has its reverse direction left.
-      if (unit_customers_ && HasFlow(q, p)) continue;
-      ++metrics->dijkstra_relaxes;
-      const double w = Distance(q_pos, problem_.customers[p]) - tau_q_[q] + tau_p_[p];
-      Relax(static_cast<int>(nq_ + p), alpha_[q] + std::max(w, 0.0), static_cast<int>(q));
+    const double slack = alpha_[q] - tau_q_[q] + min_tau_p_;
+    const int max_ring = grid_->MaxRing(q_pos);
+    std::uint64_t visited = 0;
+    for (int ring = 0; ring <= max_ring; ++ring) {
+      // `sink_ub` only shrinks while rings are scanned (run_ub_ picks up
+      // completed s~>t paths), so re-read it per ring.
+      const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+      if (std::max(grid_->RingTailMinDist(q_pos, ring) + slack, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += np_ - visited;
+        break;
+      }
+      ++metrics->grid_rings_scanned;
+      grid_->VisitRing(q_pos, ring, [&](int cx, int cy, const UniformGrid::CellSlice& slice) {
+        // Per-cell refinement of the same bound.
+        const double cell_lb = MinDist(q_pos, grid_->CellRect(cx, cy)) + slack;
+        if (std::max(cell_lb, alpha_[q]) >= std::min(run_ub_, sink_ub)) {
+          metrics->relaxes_pruned += slice.count;
+          visited += slice.count;
+          return;
+        }
+        RelaxSlice(q, q_pos, slice.ids, slice.xs, slice.ys, slice.count, metrics);
+        visited += slice.count;
+      });
     }
   }
 
@@ -117,12 +194,12 @@ class DenseSspa {
     }
     // Reverse edges toward providers currently serving p.
     const Point p_pos = problem_.customers[p];
-    for (const auto& f : flows_[p]) {
+    ForEachFlow(p, [&](std::int32_t provider, std::int64_t /*units*/) {
       ++metrics->dijkstra_relaxes;
-      const auto q = static_cast<std::size_t>(f.provider);
+      const auto q = static_cast<std::size_t>(provider);
       const double w = -Distance(problem_.providers[q].pos, p_pos) - tau_p_[p] + tau_q_[q];
-      Relax(f.provider, alpha_[nq_ + p] + std::max(w, 0.0), static_cast<int>(nq_ + p));
-    }
+      Relax(provider, alpha_[nq_ + p] + std::max(w, 0.0), static_cast<int>(nq_ + p));
+    });
   }
 
   // Traces prev_ pointers from the sink, pushes the bottleneck flow.
@@ -183,55 +260,94 @@ class DenseSspa {
     }
   }
 
-  std::int64_t FlowUnits(std::size_t q, std::size_t p) const {
-    for (const auto& f : flows_[p]) {
-      if (static_cast<std::size_t>(f.provider) == q) return f.units;
+  // --- flow records ---------------------------------------------------------
+
+  template <typename Fn>
+  void ForEachFlow(std::size_t p, Fn&& fn) const {
+    if (unit_customers_) {
+      if (serving_[p] >= 0) fn(serving_[p], std::int64_t{1});
+      return;
     }
-    return 0;
+    for (const auto& f : flows_[p]) fn(f.provider, f.units);
+  }
+
+  std::int64_t FlowUnits(std::size_t q, std::size_t p) const {
+    if (unit_customers_) {
+      return serving_[p] == static_cast<std::int32_t>(q) ? 1 : 0;
+    }
+    const auto& list = flows_[p];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), static_cast<std::int32_t>(q),
+        [](const FlowRec& f, std::int32_t provider) { return f.provider < provider; });
+    return (it != list.end() && it->provider == static_cast<std::int32_t>(q)) ? it->units : 0;
   }
 
   void AddFlow(std::size_t q, std::size_t p, std::int64_t delta) {
-    auto& list = flows_[p];
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (static_cast<std::size_t>(list[i].provider) == q) {
-        list[i].units += delta;
-        assert(list[i].units >= 0);
-        if (list[i].units == 0) {
-          list[i] = list.back();
-          list.pop_back();
-        }
-        return;
+    if (unit_customers_) {
+      if (delta > 0) {
+        assert(delta == 1 && serving_[p] < 0);
+        serving_[p] = static_cast<std::int32_t>(q);
+      } else {
+        assert(delta == -1 && serving_[p] == static_cast<std::int32_t>(q));
+        serving_[p] = -1;
       }
+      return;
+    }
+    auto& list = flows_[p];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), static_cast<std::int32_t>(q),
+        [](const FlowRec& f, std::int32_t provider) { return f.provider < provider; });
+    if (it != list.end() && it->provider == static_cast<std::int32_t>(q)) {
+      it->units += delta;
+      assert(it->units >= 0);
+      if (it->units == 0) list.erase(it);
+      return;
     }
     assert(delta > 0);
-    list.push_back(FlowRec{static_cast<int>(q), delta});
+    list.insert(it, FlowRec{static_cast<std::int32_t>(q), delta});
   }
 
   void ExtractMatching(Matching* matching) const {
     for (std::size_t p = 0; p < np_; ++p) {
-      for (const auto& f : flows_[p]) {
-        matching->Add(f.provider, static_cast<std::int32_t>(p),
-                      static_cast<std::int32_t>(f.units),
-                      Distance(problem_.providers[static_cast<std::size_t>(f.provider)].pos,
+      ForEachFlow(p, [&](std::int32_t provider, std::int64_t units) {
+        matching->Add(provider, static_cast<std::int32_t>(p),
+                      static_cast<std::int32_t>(units),
+                      Distance(problem_.providers[static_cast<std::size_t>(provider)].pos,
                                problem_.customers[p]));
-      }
+      });
     }
   }
 
+  // The dense scan's SoA snapshot and identity id slice, built on first
+  // use only (grid mode never needs them).
+  void EnsureDenseArrays() {
+    if (identity_.size() == np_) return;
+    coords_.Assign(problem_.customers);
+    identity_.resize(np_);
+    for (std::size_t i = 0; i < np_; ++i) identity_[i] = static_cast<std::int32_t>(i);
+  }
+
   struct FlowRec {
-    int provider;
+    std::int32_t provider;
     std::int64_t units;
   };
 
   const Problem& problem_;
+  SspaConfig config_;
   std::size_t nq_;
   std::size_t np_;
   bool unit_customers_;
+  PointsSoA coords_;  // dense mode only, built lazily
+  std::unique_ptr<UniformGrid> grid_;
+  double min_tau_p_ = 0.0;
+  double run_ub_ = kInf;  // best known complete-path cost this Dijkstra run
   std::vector<double> tau_q_;
   std::vector<double> tau_p_;
   std::vector<std::int64_t> used_q_;
   std::vector<std::int64_t> sink_flow_;
-  std::vector<std::vector<FlowRec>> flows_;  // customer -> providers serving it
+  std::vector<std::int32_t> serving_;        // unit customers: provider or -1
+  std::vector<std::vector<FlowRec>> flows_;  // weighted: sorted by provider
+  std::vector<std::int32_t> identity_;       // dense relax id slice, built lazily
   std::vector<double> alpha_;
   std::vector<int> prev_;
   IndexedHeap heap_;
@@ -240,6 +356,10 @@ class DenseSspa {
 
 }  // namespace
 
-SspaResult SolveSspa(const Problem& problem) { return DenseSspa(problem).Run(); }
+SspaResult SolveSspa(const Problem& problem, const SspaConfig& config) {
+  return SspaSolver(problem, config).Run();
+}
+
+SspaResult SolveSspa(const Problem& problem) { return SolveSspa(problem, SspaConfig{}); }
 
 }  // namespace cca

@@ -7,6 +7,16 @@
 // conceptual |Q| x |P| edge set on the fly instead of materialising it; the
 // `conceptual_edges` metric reports the full graph size that a literal
 // implementation would allocate.
+//
+// Two relax strategies share one solver:
+//   * grid (default): provider pops pull candidate customers from a uniform
+//     grid in expanding rings and stop as soon as the ring lower bound on
+//     reduced cost can no longer improve the tentative sink label — the
+//     matchings stay cost-identical to the dense scan while the relax count
+//     drops by orders of magnitude (see src/flow/README.md for the
+//     invariant);
+//   * dense: the literal every-customer-per-pop scan, kept as the A/B
+//     escape hatch (`--dense` in cca_cli / bench_micro_flow).
 #ifndef CCA_FLOW_SSPA_H_
 #define CCA_FLOW_SSPA_H_
 
@@ -18,14 +28,23 @@
 
 namespace cca {
 
+struct SspaConfig {
+  // Pull relax candidates from the uniform grid with ring lower-bound early
+  // exit. Off = dense scan of every customer on every provider pop.
+  bool use_grid = true;
+  // Grid resolution: average number of customers per cell.
+  double grid_target_per_cell = 4.0;
+};
+
 struct SspaResult {
   Matching matching;
   Metrics metrics;
   std::uint64_t conceptual_edges = 0;  // |Q| * |P|
 };
 
-// Computes the optimal CCA matching with plain SSPA. Supports weighted
-// customers (used by approximate concise matching tests).
+// Computes the optimal CCA matching with SSPA. Supports weighted customers
+// (used by approximate concise matching tests).
+SspaResult SolveSspa(const Problem& problem, const SspaConfig& config);
 SspaResult SolveSspa(const Problem& problem);
 
 }  // namespace cca

@@ -1,0 +1,98 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cca {
+
+UniformGrid::UniformGrid(const std::vector<Point>& points, double target_per_cell) {
+  for (const auto& p : points) bounds_.Expand(p);
+  if (bounds_.empty()) bounds_ = Rect::FromPoint(Point{0.0, 0.0});
+  const double w = bounds_.width();
+  const double h = bounds_.height();
+  const double n = static_cast<double>(points.size());
+  const double cells_target = std::max(1.0, n / std::max(1.0, target_per_cell));
+  if (w > 0.0 && h > 0.0) {
+    cell_ = std::sqrt(w * h / cells_target);
+  } else if (w > 0.0 || h > 0.0) {
+    cell_ = std::max(w, h) / cells_target;  // collinear: one row/column
+  } else {
+    cell_ = 1.0;  // all points coincide (or empty): a single cell
+  }
+  cols_ = std::max(1, static_cast<int>(std::ceil(w / cell_)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(h / cell_)));
+
+  const std::size_t num_cells = static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  start_.assign(num_cells + 1, 0);
+  items_.resize(points.size());
+  xs_.resize(points.size());
+  ys_.resize(points.size());
+
+  std::vector<std::int32_t> cell_of(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    int cx = 0, cy = 0;
+    Locate(points[i], &cx, &cy);
+    cell_of[i] = static_cast<std::int32_t>(CellIndex(cx, cy));
+    ++start_[static_cast<std::size_t>(cell_of[i]) + 1];
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) start_[c + 1] += start_[c];
+  std::vector<std::int32_t> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cell_of[i])]++);
+    items_[slot] = static_cast<std::int32_t>(i);
+    xs_[slot] = points[i].x;
+    ys_[slot] = points[i].y;
+  }
+}
+
+void UniformGrid::Locate(const Point& q, int* cx, int* cy) const {
+  const int x = static_cast<int>(std::floor((q.x - bounds_.lo.x) / cell_));
+  const int y = static_cast<int>(std::floor((q.y - bounds_.lo.y) / cell_));
+  *cx = std::clamp(x, 0, cols_ - 1);
+  *cy = std::clamp(y, 0, rows_ - 1);
+}
+
+int UniformGrid::MaxRing(const Point& q) const {
+  int cx = 0, cy = 0;
+  Locate(q, &cx, &cy);
+  const int dx = std::max(cx, cols_ - 1 - cx);
+  const int dy = std::max(cy, rows_ - 1 - cy);
+  return std::max(dx, dy);
+}
+
+double UniformGrid::RingTailMinDist(const Point& q, int ring) const {
+  if (ring <= 0) return 0.0;
+  int cx = 0, cy = 0;
+  Locate(q, &cx, &cy);
+  // Every point in ring >= r lies outside the square of cells at Chebyshev
+  // distance <= r-1; if q is inside that square, its distance to the
+  // square's boundary bounds all remaining rings from below.
+  const int half = ring - 1;
+  const double lx = bounds_.lo.x + static_cast<double>(cx - half) * cell_;
+  const double hx = bounds_.lo.x + static_cast<double>(cx + half + 1) * cell_;
+  const double ly = bounds_.lo.y + static_cast<double>(cy - half) * cell_;
+  const double hy = bounds_.lo.y + static_cast<double>(cy + half + 1) * cell_;
+  if (q.x < lx || q.x > hx || q.y < ly || q.y > hy) return 0.0;
+  const double side = std::min(std::min(q.x - lx, hx - q.x), std::min(q.y - ly, hy - q.y));
+  return std::max(side, 0.0);
+}
+
+Rect UniformGrid::CellRect(int cx, int cy) const {
+  const double lx = bounds_.lo.x + static_cast<double>(cx) * cell_;
+  const double ly = bounds_.lo.y + static_cast<double>(cy) * cell_;
+  return Rect{{lx, ly}, {lx + cell_, ly + cell_}};
+}
+
+UniformGrid::CellSlice UniformGrid::Cell(int cx, int cy) const {
+  const std::size_t c = CellIndex(cx, cy);
+  const auto begin = static_cast<std::size_t>(start_[c]);
+  const auto end = static_cast<std::size_t>(start_[c + 1]);
+  CellSlice slice;
+  slice.ids = items_.data() + begin;
+  slice.xs = xs_.data() + begin;
+  slice.ys = ys_.data() + begin;
+  slice.count = end - begin;
+  return slice;
+}
+
+}  // namespace cca
