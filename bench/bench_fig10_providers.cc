@@ -3,6 +3,11 @@
 //
 // Expected shape: cost grows with |Q| but saturates once k*|Q| > |P|; IDA
 // prunes the most while capacity is scarce (k*|Q| < |P|).
+//
+// Beyond the paper's three exact algorithms this also runs IDA on the grid
+// discovery backend ("IDA-G": ring cursors over the memory-resident
+// customer array) so BENCH_fig10.json records the index-access trajectory
+// of both backends side by side.
 #include "bench_util.h"
 
 int main() {
@@ -16,16 +21,12 @@ int main() {
   std::printf("|P|=%zu k=%d\n\n", np, k);
   ExactHeader();
 
+  JsonTrajectory json("BENCH_fig10.json");
   for (const std::size_t paper_nq : {250u, 500u, 1000u, 2500u, 5000u}) {
     const std::size_t nq = Scaled(paper_nq);
     Workload w = BuildWorkload(nq, np, k, 10000 + paper_nq);
-    const std::string setting = "|Q|=" + std::to_string(nq);
-    ExactRow(setting, "RIA",
-             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
-    ExactRow(setting, "NIA",
-             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
-    ExactRow(setting, "IDA",
-             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    RunExactSuite(&w, "|Q|=" + std::to_string(nq), np, &json);
   }
+  json.Write();
   return 0;
 }

@@ -4,6 +4,9 @@
 // Expected shape: the complete graph grows with |P| but the explored
 // subgraph *shrinks* (denser customers => closer NNs => easier problem),
 // modulo an R-tree height step at the top end.
+//
+// Like bench_fig10, also runs IDA on the grid discovery backend ("IDA-G")
+// and writes the full metric trajectory to BENCH_fig11.json.
 #include "bench_util.h"
 
 int main() {
@@ -17,16 +20,12 @@ int main() {
   std::printf("|Q|=%zu k=%d\n\n", nq, k);
   ExactHeader();
 
+  JsonTrajectory json("BENCH_fig11.json");
   for (const std::size_t paper_np : {25000u, 50000u, 100000u, 150000u, 200000u}) {
     const std::size_t np = Scaled(paper_np);
     Workload w = BuildWorkload(nq, np, k, 11000 + paper_np / 1000);
-    const std::string setting = "|P|=" + std::to_string(np);
-    ExactRow(setting, "RIA",
-             ColdRun(w.db.get(), [&] { return SolveRia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
-    ExactRow(setting, "NIA",
-             ColdRun(w.db.get(), [&] { return SolveNia(w.problem, w.db.get(), DefaultExactConfig(np)); }));
-    ExactRow(setting, "IDA",
-             ColdRun(w.db.get(), [&] { return SolveIda(w.problem, w.db.get(), DefaultExactConfig(np)); }));
+    RunExactSuite(&w, "|P|=" + std::to_string(np), np, &json);
   }
+  json.Write();
   return 0;
 }

@@ -67,12 +67,14 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
     std::fprintf(f,
                  "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
                  "\"relaxes\": %llu, \"relaxes_pruned\": %llu, \"pops\": %llu, "
-                 "\"grid_rings_scanned\": %llu, \"augmentations\": %llu, "
+                 "\"grid_rings_scanned\": %llu, \"grid_cursor_cells\": %llu, "
+                 "\"augmentations\": %llu, "
                  "\"millis\": %.3f, \"cost\": %.3f}%s\n",
                  r.nq, r.np, r.k, r.mode, static_cast<unsigned long long>(m.dijkstra_relaxes),
                  static_cast<unsigned long long>(m.relaxes_pruned),
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.grid_rings_scanned),
+                 static_cast<unsigned long long>(m.grid_cursor_cells),
                  static_cast<unsigned long long>(m.augmentations), m.cpu_millis,
                  r.result.matching.cost(), i + 1 < runs.size() ? "," : "");
   }

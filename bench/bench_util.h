@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/approx.h"
 #include "core/customer_db.h"
@@ -141,6 +142,77 @@ template <typename Fn>
 auto ColdRun(CustomerDb* db, Fn&& fn) {
   db->CoolDown();
   return fn();
+}
+
+// --- machine-readable trajectory ---------------------------------------------
+
+// Collects one JSON object per solver run and writes a `BENCH_*.json`
+// array on Write(), mirroring bench_micro_flow's format so successive PRs
+// can diff the perf trajectory (tools/bench_diff.py).
+class JsonTrajectory {
+ public:
+  explicit JsonTrajectory(std::string path) : path_(std::move(path)) {}
+
+  void AddExact(const std::string& setting, const char* algo, const ExactResult& r) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"setting\": \"%s\", \"algo\": \"%s\", \"esub\": %llu, "
+        "\"node_accesses\": %llu, \"grid_cursor_cells\": %llu, "
+        "\"index_node_accesses\": %llu, \"page_faults\": %llu, "
+        "\"nn_searches\": %llu, \"invalid_paths\": %llu, "
+        "\"cpu_ms\": %.3f, \"io_ms\": %.3f, \"cost\": %.3f}",
+        setting.c_str(), algo, static_cast<unsigned long long>(r.metrics.edges_inserted),
+        static_cast<unsigned long long>(r.metrics.node_accesses),
+        static_cast<unsigned long long>(r.metrics.grid_cursor_cells),
+        static_cast<unsigned long long>(r.metrics.index_node_accesses),
+        static_cast<unsigned long long>(r.metrics.page_faults),
+        static_cast<unsigned long long>(r.metrics.nn_searches),
+        static_cast<unsigned long long>(r.metrics.invalid_paths), r.metrics.cpu_millis,
+        r.metrics.io_millis(), r.matching.cost());
+    rows_.emplace_back(buf);
+  }
+
+  void Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu runs to %s\n", rows_.size(), path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+// Runs the standard exact-solver suite (RIA, NIA, IDA, grid-backed IDA)
+// on one workload setting, printing table rows and appending to the JSON
+// trajectory. Shared by the figure benches so the row schema cannot drift
+// between BENCH_fig*.json files.
+inline void RunExactSuite(Workload* w, const std::string& setting, std::size_t np,
+                          JsonTrajectory* json) {
+  ExactConfig grid_config = DefaultExactConfig(np);
+  grid_config.discovery_backend = DiscoveryBackend::kGrid;
+  const auto record = [&](const char* algo, const ExactResult& r) {
+    ExactRow(setting, algo, r);
+    json->AddExact(setting, algo, r);
+  };
+  record("RIA",
+         ColdRun(w->db.get(), [&] { return SolveRia(w->problem, w->db.get(), DefaultExactConfig(np)); }));
+  record("NIA",
+         ColdRun(w->db.get(), [&] { return SolveNia(w->problem, w->db.get(), DefaultExactConfig(np)); }));
+  record("IDA",
+         ColdRun(w->db.get(), [&] { return SolveIda(w->problem, w->db.get(), DefaultExactConfig(np)); }));
+  record("IDA-G",
+         ColdRun(w->db.get(), [&] { return SolveIda(w->problem, w->db.get(), grid_config); }));
 }
 
 }  // namespace cca::bench

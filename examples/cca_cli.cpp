@@ -6,9 +6,13 @@
 //   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
 //           [--seed S] [--no-pua] [--no-ann] [--dense]
+//           [--backend auto|rtree|ann|grid]
 //
 // --dense switches SSPA to the literal every-customer relax scan (the
 // grid-pruned relax is the default); use it for A/B comparisons.
+// --backend selects the candidate-discovery backend of the exact solvers:
+// independent R-tree NN iterators, the grouped ANN traversal, or grid ring
+// cursors over the memory-resident customer array.
 //
 // Output: one `key=value` line per metric (easy to grep / parse).
 #include <cstdio>
@@ -38,6 +42,7 @@ struct Args {
   bool use_pua = true;
   bool use_ann = true;
   bool dense_sspa = false;
+  std::string backend = "auto";
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -74,6 +79,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->use_ann = false;
     } else if (flag == "--dense") {
       args->dense_sspa = true;
+    } else if (flag == "--backend") {
+      args->backend = next();
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -93,7 +100,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
-                 "               [--seed S] [--no-pua] [--no-ann] [--dense]\n");
+                 "               [--seed S] [--no-pua] [--no-ann] [--dense]\n"
+                 "               [--backend auto|rtree|ann|grid]\n");
     return 2;
   }
 
@@ -120,6 +128,16 @@ int main(int argc, char** argv) {
   exact.theta = args.theta;
   exact.use_pua = args.use_pua;
   exact.use_ann_grouping = args.use_ann;
+  if (args.backend == "rtree") {
+    exact.discovery_backend = DiscoveryBackend::kRTreePlain;
+  } else if (args.backend == "ann") {
+    exact.discovery_backend = DiscoveryBackend::kRTreeGrouped;
+  } else if (args.backend == "grid") {
+    exact.discovery_backend = DiscoveryBackend::kGrid;
+  } else if (args.backend != "auto") {
+    std::fprintf(stderr, "unknown backend '%s'\n", args.backend.c_str());
+    return 2;
+  }
 
   Matching matching;
   Metrics metrics;
@@ -168,6 +186,11 @@ int main(int argc, char** argv) {
   std::printf("relaxes_pruned=%llu\n", static_cast<unsigned long long>(metrics.relaxes_pruned));
   std::printf("grid_rings_scanned=%llu\n",
               static_cast<unsigned long long>(metrics.grid_rings_scanned));
+  std::printf("node_accesses=%llu\n", static_cast<unsigned long long>(metrics.node_accesses));
+  std::printf("grid_cursor_cells=%llu\n",
+              static_cast<unsigned long long>(metrics.grid_cursor_cells));
+  std::printf("index_node_accesses=%llu\n",
+              static_cast<unsigned long long>(metrics.index_node_accesses));
   std::printf("page_faults=%llu\n", static_cast<unsigned long long>(metrics.page_faults));
   std::printf("cpu_ms=%.1f\n", metrics.cpu_millis);
   std::printf("io_ms=%.1f\n", metrics.io_millis());

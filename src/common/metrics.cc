@@ -18,6 +18,8 @@ void Metrics::Accumulate(const Metrics& other) {
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;
+  grid_cursor_cells += other.grid_cursor_cells;
+  index_node_accesses += other.index_node_accesses;
   page_faults += other.page_faults;
   cpu_millis += other.cpu_millis;
 }

@@ -32,12 +32,16 @@ struct Metrics {
   std::uint64_t invalid_paths = 0;     // Theorem-1 rejections
   std::uint64_t fast_path_assigns = 0; // Theorem-2 direct assignments
   std::uint64_t grid_rings_scanned = 0;  // grid rings visited by pruned SSPA
-  std::uint64_t relaxes_pruned = 0;    // relaxations skipped by ring/cell bounds
+  std::uint64_t relaxes_pruned = 0;    // relaxations skipped by ring/cell/upper bounds
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served
   std::uint64_t range_searches = 0;  // (annular) range searches issued
   std::uint64_t node_accesses = 0;   // logical R-tree node touches
+  std::uint64_t grid_cursor_cells = 0;  // grid cells fetched by ring cursors
+  // Backend-neutral index work: R-tree node touches plus grid cells
+  // fetched, so rtree- and grid-backed runs compare apples-to-apples.
+  std::uint64_t index_node_accesses = 0;
   std::uint64_t page_faults = 0;     // physical page reads (buffer misses)
 
   // --- outcome ---------------------------------------------------------—--

@@ -63,7 +63,11 @@ class IoScope {
   void Finish() {
     if (db_ == nullptr) return;
     metrics_->page_faults += db_->page_faults() - faults_;
-    metrics_->node_accesses += db_->node_accesses() - nodes_;
+    const std::uint64_t nodes = db_->node_accesses() - nodes_;
+    metrics_->node_accesses += nodes;
+    // R-tree nodes count toward the backend-neutral index-access total
+    // (grid backends add their cursor cells to the same counter).
+    metrics_->index_node_accesses += nodes;
     db_ = nullptr;
   }
 

@@ -25,14 +25,38 @@
 
 namespace cca {
 
+// Candidate-discovery backend for the exact solvers (see src/core/README.md
+// for the layer contract). All backends yield cost-identical matchings;
+// they differ in how the "next nearest candidate" primitive is served:
+//
+//   kRTreePlain    one independent best-first NN iterator per provider,
+//   kRTreeGrouped  the paper's shared Hilbert-grouped ANN traversal (3.4.2),
+//   kGrid          uniform-grid ring cursors over the raw point array
+//                  (memory-resident customers: no R-tree, no page I/O).
+enum class DiscoveryBackend {
+  kAuto = 0,  // honour `use_ann_grouping` (the legacy switch)
+  kRTreePlain,
+  kRTreeGrouped,
+  kGrid,
+};
+
 struct ExactConfig {
   // RIA: range increment theta (paper default 0.8 on the [0,1000]^2 world).
   double theta = 0.8;
   // Reuse Dijkstra computations across edge insertions (paper 3.4.1).
   bool use_pua = true;
   // Serve NN streams through the grouped ANN traversal (paper 3.4.2).
+  // Consulted only when discovery_backend == kAuto.
   bool use_ann_grouping = true;
   std::size_t ann_group_size = 8;
+  // How RIA/NIA/IDA (and the greedy baseline) discover spatial candidates.
+  DiscoveryBackend discovery_backend = DiscoveryBackend::kAuto;
+  // Grid backend resolution for NN *streaming*: average customers per
+  // cell; <= 0 falls back to a coarse default (~256/cell — fat cells
+  // amortise cursor fetches the way R-tree leaf pages do). Deliberately
+  // named apart from SspaConfig::grid_target_per_cell, whose <= 0 means
+  // density auto-tuning toward *fine* relax-pruning cells.
+  double grid_stream_target_per_cell = 0.0;
   // IDA only: enable the full-provider distance lift in pending-edge keys.
   // Disabling it reduces IDA's bound to NIA's (ablation switch).
   bool ida_distance_lift = true;

@@ -2,6 +2,9 @@
 //
 // Mirrors the paper's heap H: for every provider exactly one pending edge
 // (to its next undiscovered nearest neighbour) is outstanding at any time.
+// The frontier is backend-agnostic: it consumes neutral NnSource::Hit
+// records, so the same loop runs over R-tree iterators, the grouped ANN
+// traversal, or grid ring cursors (see src/core/README.md).
 // Keys are computed on demand as lift(q) + dist so that IDA's
 // full-provider distance lifts stay current without heap rebuilds; with
 // |Q| in the thousands a linear scan is cheaper than maintaining a heap

@@ -15,8 +15,7 @@ ExactResult SolveGreedySm(const Problem& problem, CustomerDb* db, const ExactCon
   Timer timer;
   IoScope io(db, &result.metrics);
 
-  auto source = MakeNnSource(db->tree(), problem.providers, config.use_ann_grouping,
-                             config.ann_group_size, problem.World());
+  auto source = MakeNnSource(db, problem, config, &result.metrics);
   EdgeFrontier frontier(problem, source.get(), &result.metrics);
   const auto zero_lift = [](int) { return 0.0; };
 

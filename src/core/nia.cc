@@ -25,8 +25,7 @@ ExactResult SolveNia(const Problem& problem, CustomerDb* db, const ExactConfig& 
   engine_config.unit_edges = problem.weights.empty();
   IncrementalEngine engine(problem, engine_config, &result.metrics);
 
-  auto source = MakeNnSource(db->tree(), problem.providers, config.use_ann_grouping,
-                             config.ann_group_size, problem.World());
+  auto source = MakeNnSource(db, problem, config, &result.metrics);
   EdgeFrontier frontier(problem, source.get(), &result.metrics);
   const auto zero_lift = [](int) { return 0.0; };
 

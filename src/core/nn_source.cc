@@ -1,34 +1,137 @@
 #include "core/nn_source.h"
 
+#include <vector>
+
+#include "core/customer_db.h"
+#include "geo/grid.h"
+#include "geo/grid_cursor.h"
+#include "rtree/ann_iterator.h"
+#include "rtree/nn_iterator.h"
+#include "rtree/rtree.h"
+
 namespace cca {
+namespace {
 
-PlainNnSource::PlainNnSource(RTree* tree, const std::vector<Provider>& providers) {
-  iterators_.reserve(providers.size());
-  for (const auto& q : providers) iterators_.emplace_back(tree, q.pos);
+// Coarse default resolution for NN streaming: unlike the SSPA relax (which
+// wants fine cells for pruning granularity), an NN cursor keeps every
+// fetched point in its candidate heap, so fat cells simply amortise the
+// per-fetch cost — one fetch is one contiguous SoA scan, the grid analogue
+// of reading an R-tree leaf page.
+constexpr double kNnStreamTargetPerCell = 256.0;
+
+std::optional<NnSource::Hit> FromRTreeHit(const std::optional<RTree::Hit>& hit) {
+  if (!hit) return std::nullopt;
+  return NnSource::Hit{static_cast<std::int32_t>(hit->oid), hit->dist};
 }
 
-std::optional<RTree::Hit> PlainNnSource::NextNN(int q) {
-  return iterators_[static_cast<std::size_t>(q)].Next();
-}
-
-GroupedNnSource::GroupedNnSource(RTree* tree, const std::vector<Provider>& providers,
-                                 std::size_t max_group_size, const Rect& world) {
-  std::vector<Point> positions;
-  positions.reserve(providers.size());
-  for (const auto& q : providers) positions.push_back(q.pos);
-  const auto groups = FormHilbertGroups(positions, max_group_size, world);
-  searcher_ = std::make_unique<GroupAnnSearcher>(tree, positions, groups);
-}
-
-std::optional<RTree::Hit> GroupedNnSource::NextNN(int q) { return searcher_->NextNN(q); }
-
-std::unique_ptr<NnSource> MakeNnSource(RTree* tree, const std::vector<Provider>& providers,
-                                       bool use_ann_grouping, std::size_t max_group_size,
-                                       const Rect& world) {
-  if (use_ann_grouping && providers.size() > 1) {
-    return std::make_unique<GroupedNnSource>(tree, providers, max_group_size, world);
+// One independent best-first NN iterator per provider.
+class PlainNnSource : public NnSource {
+ public:
+  PlainNnSource(RTree* tree, const std::vector<Provider>& providers) {
+    iterators_.reserve(providers.size());
+    for (const auto& q : providers) iterators_.emplace_back(tree, q.pos);
   }
-  return std::make_unique<PlainNnSource>(tree, providers);
+
+  std::optional<Hit> NextNN(int q) override {
+    return FromRTreeHit(iterators_[static_cast<std::size_t>(q)].Next());
+  }
+
+  double PeekDistance(int q) override {
+    return iterators_[static_cast<std::size_t>(q)].PeekDistance();
+  }
+
+ private:
+  std::vector<NnIterator> iterators_;
+};
+
+// Hilbert-grouped shared traversal (paper Algorithm 6).
+class GroupedNnSource : public NnSource {
+ public:
+  GroupedNnSource(RTree* tree, const std::vector<Provider>& providers,
+                  std::size_t max_group_size, const Rect& world) {
+    std::vector<Point> positions;
+    positions.reserve(providers.size());
+    for (const auto& q : providers) positions.push_back(q.pos);
+    const auto groups = FormHilbertGroups(positions, max_group_size, world);
+    searcher_ = std::make_unique<GroupAnnSearcher>(tree, positions, groups);
+  }
+
+  std::optional<Hit> NextNN(int q) override { return FromRTreeHit(searcher_->NextNN(q)); }
+
+  double PeekDistance(int q) override { return searcher_->PeekDistance(q); }
+
+ private:
+  std::unique_ptr<GroupAnnSearcher> searcher_;
+};
+
+// Grid ring cursors over the memory-resident customer array.
+class GridNnSource : public NnSource {
+ public:
+  GridNnSource(const std::vector<Point>& customers, const std::vector<Provider>& providers,
+               double target_per_cell, Metrics* metrics)
+      : grid_(customers, target_per_cell), metrics_(metrics) {
+    cursors_.reserve(providers.size());
+    for (const auto& q : providers) cursors_.emplace_back(grid_, q.pos);
+  }
+
+  // Runs `op` and charges any cells it fetched to the metrics bundle —
+  // the single place grid cursor work is accounted. (Defined before its
+  // uses: in-class `auto` return deduction needs the body first.)
+  template <typename Op>
+  auto Charged(GridNnCursor* cursor, Op&& op) {
+    const std::uint64_t before = cursor->cells_visited();
+    auto result = op();
+    if (metrics_ != nullptr) {
+      const std::uint64_t cells = cursor->cells_visited() - before;
+      metrics_->grid_cursor_cells += cells;
+      metrics_->index_node_accesses += cells;
+    }
+    return result;
+  }
+
+  std::optional<Hit> NextNN(int q) override {
+    GridNnCursor& cursor = cursors_[static_cast<std::size_t>(q)];
+    const auto next = Charged(&cursor, [&] { return cursor.Next(); });
+    if (!next) return std::nullopt;
+    return Hit{next->first, next->second};
+  }
+
+  double PeekDistance(int q) override {
+    GridNnCursor& cursor = cursors_[static_cast<std::size_t>(q)];
+    return Charged(&cursor, [&] { return cursor.PeekDistance(); });
+  }
+
+ private:
+  UniformGrid grid_;
+  Metrics* metrics_;
+  std::vector<GridNnCursor> cursors_;
+};
+
+}  // namespace
+
+DiscoveryBackend ResolveDiscoveryBackend(const ExactConfig& config, std::size_t num_providers) {
+  if (config.discovery_backend != DiscoveryBackend::kAuto) return config.discovery_backend;
+  return (config.use_ann_grouping && num_providers > 1) ? DiscoveryBackend::kRTreeGrouped
+                                                        : DiscoveryBackend::kRTreePlain;
+}
+
+double ResolveGridTargetPerCell(const ExactConfig& config) {
+  return config.grid_stream_target_per_cell > 0.0 ? config.grid_stream_target_per_cell
+                                                  : kNnStreamTargetPerCell;
+}
+
+std::unique_ptr<NnSource> MakeNnSource(CustomerDb* db, const Problem& problem,
+                                       const ExactConfig& config, Metrics* metrics) {
+  switch (ResolveDiscoveryBackend(config, problem.providers.size())) {
+    case DiscoveryBackend::kGrid:
+      return std::make_unique<GridNnSource>(db->points(), problem.providers,
+                                            ResolveGridTargetPerCell(config), metrics);
+    case DiscoveryBackend::kRTreeGrouped:
+      return std::make_unique<GroupedNnSource>(db->tree(), problem.providers,
+                                               config.ann_group_size, problem.World());
+    default:
+      return std::make_unique<PlainNnSource>(db->tree(), problem.providers);
+  }
 }
 
 }  // namespace cca

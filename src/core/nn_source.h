@@ -1,55 +1,68 @@
 // Incremental NN streams for the edge-discovery side of NIA/IDA.
 //
 // `NnSource` hands out, per service provider, the next nearest customer on
-// demand. Two implementations: independent best-first iterators (one per
-// provider) and the shared grouped ANN traversal of paper Section 3.4.2,
-// selectable through ExactConfig::use_ann_grouping.
+// demand. The interface is backend-neutral — a `Hit` is just (customer id,
+// distance), with no R-tree types leaking through — and three backends
+// implement it (see src/core/README.md for the layer contract):
+//
+//   * PlainNnSource    independent best-first R-tree iterators, one per
+//                      provider;
+//   * GroupedNnSource  the shared Hilbert-grouped ANN traversal of paper
+//                      Section 3.4.2;
+//   * GridNnSource     uniform-grid ring cursors over the memory-resident
+//                      customer array (src/geo/grid_cursor.h) — no R-tree
+//                      nodes are touched and no page I/O is charged.
+//
+// The concrete classes live in nn_source.cc; callers go through the
+// factory, which resolves ExactConfig::discovery_backend.
 #ifndef CCA_CORE_NN_SOURCE_H_
 #define CCA_CORE_NN_SOURCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <vector>
 
+#include "common/metrics.h"
+#include "core/exact.h"
 #include "core/problem.h"
-#include "rtree/ann_iterator.h"
-#include "rtree/nn_iterator.h"
-#include "rtree/rtree.h"
 
 namespace cca {
 
+class CustomerDb;
+
 class NnSource {
  public:
+  // Backend-neutral discovery hit: the customer's object id (== index into
+  // Problem::customers) and its distance to the querying provider.
+  struct Hit {
+    std::int32_t oid = -1;
+    double dist = 0.0;
+  };
+
   virtual ~NnSource() = default;
-  // Next nearest customer of provider `q`, or nullopt when exhausted.
-  virtual std::optional<RTree::Hit> NextNN(int q) = 0;
+  // Next nearest customer of provider `q` (non-decreasing distance per
+  // provider), or nullopt when exhausted.
+  virtual std::optional<Hit> NextNN(int q) = 0;
+  // Distance the next NextNN(q) would return (+infinity when exhausted)
+  // without consuming it; may read index structures to find out. RIA's
+  // grid path drains a source batch-by-batch against this bound.
+  virtual double PeekDistance(int q) = 0;
 };
 
-// One independent best-first NN iterator per provider.
-class PlainNnSource : public NnSource {
- public:
-  PlainNnSource(RTree* tree, const std::vector<Provider>& providers);
-  std::optional<RTree::Hit> NextNN(int q) override;
+// Resolves kAuto against the legacy `use_ann_grouping` switch.
+DiscoveryBackend ResolveDiscoveryBackend(const ExactConfig& config, std::size_t num_providers);
 
- private:
-  std::vector<NnIterator> iterators_;
-};
+// Resolves ExactConfig::grid_stream_target_per_cell for the exact-solver
+// grid backend: non-positive falls back to a coarse streaming default
+// (fat cells amortise cursor fetches the way R-tree leaf pages do).
+double ResolveGridTargetPerCell(const ExactConfig& config);
 
-// Hilbert-grouped shared traversal (paper Algorithm 6).
-class GroupedNnSource : public NnSource {
- public:
-  GroupedNnSource(RTree* tree, const std::vector<Provider>& providers,
-                  std::size_t max_group_size, const Rect& world);
-  std::optional<RTree::Hit> NextNN(int q) override;
-
- private:
-  std::unique_ptr<GroupAnnSearcher> searcher_;
-};
-
-// Factory honouring the config switch.
-std::unique_ptr<NnSource> MakeNnSource(RTree* tree, const std::vector<Provider>& providers,
-                                       bool use_ann_grouping, std::size_t max_group_size,
-                                       const Rect& world);
+// Factory honouring ExactConfig::discovery_backend. The grid backend reads
+// `db->points()` and reports its cursor cells into `metrics`
+// (grid_cursor_cells / index_node_accesses); the R-tree backends report
+// through the tree's own counters (harvested by IoScope).
+std::unique_ptr<NnSource> MakeNnSource(CustomerDb* db, const Problem& problem,
+                                       const ExactConfig& config, Metrics* metrics);
 
 }  // namespace cca
 

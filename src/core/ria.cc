@@ -6,11 +6,24 @@
 // (real) cost is within T, since every unexplored edge is longer than T
 // and real path costs through it cannot be smaller (Theorem 1; see
 // DESIGN.md Section 3.2 for why no tau_max slack is needed).
+//
+// The annular batches are served by the configured discovery backend. The
+// R-tree path issues one AnnularRangeSearch per provider per batch. The
+// grid path (memory-resident customer sets) holds a GridNnSource and, per
+// batch, drains each provider's stream up to the new T against
+// PeekDistance(): successive annuli are nested (each batch's lo equals the
+// previous hi), so resuming the incremental NN stream yields exactly the
+// (lo, hi] batch without ever re-fetching inner-disk cells, charges no
+// page I/O, and keeps the grid semantics and cell accounting in
+// nn_source.cc alone.
 #include <cassert>
+#include <memory>
 
 #include "common/timer.h"
 #include "core/engine.h"
 #include "core/exact.h"
+#include "core/nn_source.h"
+#include "rtree/rtree.h"
 
 namespace cca {
 
@@ -27,18 +40,34 @@ ExactResult SolveRia(const Problem& problem, CustomerDb* db, const ExactConfig& 
   const double world_diag = problem.World().Diagonal();
   const auto nq = problem.providers.size();
 
-  double t_range = config.theta;
-  bool exhausted = false;
+  std::unique_ptr<NnSource> grid_source;  // grid backend: resumable stream per provider
+  if (ResolveDiscoveryBackend(config, nq) == DiscoveryBackend::kGrid) {
+    grid_source = MakeNnSource(db, problem, config, &result.metrics);
+  }
   std::vector<RTree::Hit> hits;
-
-  // Initial batch: all edges of length <= theta.
-  for (std::size_t q = 0; q < nq; ++q) {
-    db->tree()->RangeSearch(problem.providers[q].pos, t_range, &hits);
+  // Inserts every edge q -> p with lo < dist(q, p) <= hi (lo < 0 is the
+  // initial full-disk batch) through whichever backend is configured.
+  const auto insert_annulus = [&](std::size_t q, double lo, double hi) {
     ++result.metrics.range_searches;
+    if (grid_source) {
+      // Everything below lo was consumed by the previous batches.
+      while (grid_source->PeekDistance(static_cast<int>(q)) <= hi) {
+        const auto hit = grid_source->NextNN(static_cast<int>(q));
+        engine.InsertEdge(static_cast<int>(q), hit->oid, hit->dist);
+      }
+      return;
+    }
+    db->tree()->AnnularRangeSearch(problem.providers[q].pos, lo, hi, &hits);
     for (const auto& h : hits) {
       engine.InsertEdge(static_cast<int>(q), static_cast<int>(h.oid), h.dist);
     }
-  }
+  };
+
+  double t_range = config.theta;
+  bool exhausted = false;
+
+  // Initial batch: all edges of length <= theta.
+  for (std::size_t q = 0; q < nq; ++q) insert_annulus(q, -1.0, t_range);
 
   while (!engine.Done()) {
     const double d = engine.ComputeShortestPath();
@@ -52,13 +81,7 @@ ExactResult SolveRia(const Problem& problem, CustomerDb* db, const ExactConfig& 
     ++result.metrics.invalid_paths;
     const double lo = t_range;
     t_range += config.theta;
-    for (std::size_t q = 0; q < nq; ++q) {
-      db->tree()->AnnularRangeSearch(problem.providers[q].pos, lo, t_range, &hits);
-      ++result.metrics.range_searches;
-      for (const auto& h : hits) {
-        engine.InsertEdge(static_cast<int>(q), static_cast<int>(h.oid), h.dist);
-      }
-    }
+    for (std::size_t q = 0; q < nq; ++q) insert_annulus(q, lo, t_range);
     if (t_range >= world_diag) exhausted = true;  // Esub == E from here on
   }
 

@@ -9,6 +9,7 @@
 #include "common/indexed_heap.h"
 #include "common/timer.h"
 #include "geo/grid.h"
+#include "geo/grid_cursor.h"
 
 namespace cca {
 namespace {
@@ -44,6 +45,7 @@ class SspaSolver {
         heap_(nq_ + np_ + 1) {
     if (config_.use_grid && np_ > 0) {
       grid_ = std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
+      relax_cursor_ = std::make_unique<GridRingCursor>(*grid_, Point{});
     }
   }
 
@@ -121,8 +123,12 @@ class SspaSolver {
   // Forward-relaxes the edges q -> {customers in the slice}. `ids` indexes
   // the global customer arrays; `xs`/`ys` are the matching coordinate
   // slices (cell-clustered in grid mode, the plain SoA in dense mode).
+  // With `ub_prune` set (the index-free dense scan), candidates whose
+  // label could not beat the certified upper bound min(alpha(t), run_ub)
+  // are skipped before touching the heap — the per-candidate analogue of
+  // the grid's cell bound (the README invariant covers both).
   void RelaxSlice(std::size_t q, const Point& q_pos, const std::int32_t* ids, const double* xs,
-                  const double* ys, std::size_t count, Metrics* metrics) {
+                  const double* ys, std::size_t count, bool ub_prune, Metrics* metrics) {
     double dist[kDistanceBlock];
     const double base = alpha_[q] - tau_q_[q];
     for (std::size_t begin = 0; begin < count; begin += kDistanceBlock) {
@@ -132,9 +138,14 @@ class SspaSolver {
         const auto p = static_cast<std::size_t>(ids[begin + i]);
         // A saturated unit edge only has its reverse direction left.
         if (unit_customers_ && serving_[p] == static_cast<std::int32_t>(q)) continue;
-        ++metrics->dijkstra_relaxes;
         const double w = dist[i] + base + tau_p_[p];
         const double cand = std::max(w, alpha_[q]);
+        if (ub_prune &&
+            cand >= std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_)) {
+          ++metrics->relaxes_pruned;
+          continue;
+        }
+        ++metrics->dijkstra_relaxes;
         // p with sink residual completes an s~>q->p->t path of cost `cand`
         // (tau(p) >= 0, so the p->t reduced cost is 0): `cand` upper-bounds
         // this run's shortest-path cost, which arms the ring early exit
@@ -148,42 +159,50 @@ class SspaSolver {
   void RelaxProviderDense(std::size_t q, Metrics* metrics) {
     EnsureDenseArrays();
     RelaxSlice(q, problem_.providers[q].pos, identity_.data(), coords_.x.data(), coords_.y.data(),
-               np_, metrics);
+               np_, /*ub_prune=*/true, metrics);
   }
 
-  // Grid-pruned relax: pull candidates cell-by-cell in rings of increasing
+  // Grid-pruned relax: pull candidate cells off a GridRingCursor (the
+  // shared discovery primitive, geo/grid_cursor.h) in rings of increasing
   // minimum distance from q, and stop as soon as the lower bound on the
   // label any remaining customer could receive
-  //     alpha(q) + max(ring_mindist - tau(q) + min_p tau(p), 0)
+  //     alpha(q) + max(TailMinDist - tau(q) + min_p tau(p), 0)
   // reaches the tentative sink label: such labels can neither beat the
   // shortest path of this run nor move the potentials afterwards (the
   // invariant is spelled out in src/flow/README.md).
   void RelaxProviderGrid(std::size_t q, Metrics* metrics) {
     const Point q_pos = problem_.providers[q].pos;
     const double slack = alpha_[q] - tau_q_[q] + min_tau_p_;
-    const int max_ring = grid_->MaxRing(q_pos);
-    std::uint64_t visited = 0;
-    for (int ring = 0; ring <= max_ring; ++ring) {
-      // `sink_ub` only shrinks while rings are scanned (run_ub_ picks up
-      // completed s~>t paths), so re-read it per ring.
+    GridRingCursor& cursor = *relax_cursor_;
+    cursor.Reset(q_pos);
+    int last_ring = -1;
+    while (true) {
+      // `sink_ub` only shrinks while cells are scanned (run_ub_ picks up
+      // completed s~>t paths), so re-read it per cell.
       const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
-      if (std::max(grid_->RingTailMinDist(q_pos, ring) + slack, alpha_[q]) >= sink_ub) {
-        metrics->relaxes_pruned += np_ - visited;
+      if (std::max(cursor.TailMinDist() + slack, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += cursor.points_remaining();
         break;
       }
-      ++metrics->grid_rings_scanned;
-      grid_->VisitRing(q_pos, ring, [&](int cx, int cy, const UniformGrid::CellSlice& slice) {
-        // Per-cell refinement of the same bound.
-        const double cell_lb = MinDist(q_pos, grid_->CellRect(cx, cy)) + slack;
-        if (std::max(cell_lb, alpha_[q]) >= std::min(run_ub_, sink_ub)) {
-          metrics->relaxes_pruned += slice.count;
-          visited += slice.count;
-          return;
-        }
-        RelaxSlice(q, q_pos, slice.ids, slice.xs, slice.ys, slice.count, metrics);
-        visited += slice.count;
-      });
+      const auto cell = cursor.NextCell();
+      if (!cell) break;
+      if (cell->ring != last_ring) {
+        last_ring = cell->ring;
+        ++metrics->grid_rings_scanned;
+      }
+      // Per-cell refinement of the same bound (nothing between the sink_ub
+      // read and this check can tighten run_ub_, so sink_ub is current).
+      if (std::max(cell->min_dist + slack, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += cell->slice.count;
+        continue;
+      }
+      RelaxSlice(q, q_pos, cell->slice.ids, cell->slice.xs, cell->slice.ys, cell->slice.count,
+                 /*ub_prune=*/false, metrics);
     }
+    // The cursor's own counter is the source of truth for cell charging
+    // (same convention as GridNnSource); it was reset at pop start.
+    metrics->grid_cursor_cells += cursor.cells_visited();
+    metrics->index_node_accesses += cursor.cells_visited();
   }
 
   void RelaxCustomer(std::size_t p, Metrics* metrics) {
@@ -339,6 +358,7 @@ class SspaSolver {
   bool unit_customers_;
   PointsSoA coords_;  // dense mode only, built lazily
   std::unique_ptr<UniformGrid> grid_;
+  std::unique_ptr<GridRingCursor> relax_cursor_;  // reset per provider pop
   double min_tau_p_ = 0.0;
   double run_ub_ = kInf;  // best known complete-path cost this Dijkstra run
   std::vector<double> tau_q_;

@@ -30,9 +30,13 @@ namespace cca {
 
 struct SspaConfig {
   // Pull relax candidates from the uniform grid with ring lower-bound early
-  // exit. Off = dense scan of every customer on every provider pop.
+  // exit. Off = dense scan of every customer on every provider pop (which
+  // still applies the per-candidate run_ub prune — index-free, but no
+  // longer relaxing candidates that cannot beat the certified upper bound).
   bool use_grid = true;
-  // Grid resolution: average number of customers per cell.
+  // Grid resolution: average number of customers per cell; <= 0 auto-tunes
+  // the resolution from the instance's density (UniformGrid rebuilds with
+  // finer cells when the point set is skewed).
   double grid_target_per_cell = 4.0;
 };
 

@@ -8,6 +8,25 @@ namespace cca {
 UniformGrid::UniformGrid(const std::vector<Point>& points, double target_per_cell) {
   for (const auto& p : points) bounds_.Expand(p);
   if (bounds_.empty()) bounds_ = Rect::FromPoint(Point{0.0, 0.0});
+  if (target_per_cell > 0.0) {
+    Build(points, target_per_cell);
+    return;
+  }
+  // Auto-tune: measure occupancy at the default resolution. On skewed
+  // inputs most of the bounding box is empty, so the occupied cells hold
+  // far more than the target; shrinking the cell area by target/occupancy
+  // brings the occupied mean back to the target (clamped so the cell count
+  // stays O(n)).
+  Build(points, kDefaultTargetPerCell);
+  const double occupancy = MeanOccupancy();
+  if (occupancy > 1.5 * kDefaultTargetPerCell) {
+    const double tuned =
+        std::max(1.0, kDefaultTargetPerCell * (kDefaultTargetPerCell / occupancy));
+    Build(points, tuned);
+  }
+}
+
+void UniformGrid::Build(const std::vector<Point>& points, double target_per_cell) {
   const double w = bounds_.width();
   const double h = bounds_.height();
   const double n = static_cast<double>(points.size());
@@ -45,6 +64,19 @@ UniformGrid::UniformGrid(const std::vector<Point>& points, double target_per_cel
   }
 }
 
+std::size_t UniformGrid::NonEmptyCells() const {
+  std::size_t occupied = 0;
+  for (std::size_t c = 0; c + 1 < start_.size(); ++c) {
+    if (start_[c + 1] > start_[c]) ++occupied;
+  }
+  return occupied;
+}
+
+double UniformGrid::MeanOccupancy() const {
+  const std::size_t occupied = NonEmptyCells();
+  return occupied == 0 ? 0.0 : static_cast<double>(items_.size()) / static_cast<double>(occupied);
+}
+
 void UniformGrid::Locate(const Point& q, int* cx, int* cy) const {
   const int x = static_cast<int>(std::floor((q.x - bounds_.lo.x) / cell_));
   const int y = static_cast<int>(std::floor((q.y - bounds_.lo.y) / cell_));
@@ -61,7 +93,13 @@ int UniformGrid::MaxRing(const Point& q) const {
 }
 
 double UniformGrid::RingTailMinDist(const Point& q, int ring) const {
-  if (ring <= 0) return 0.0;
+  // Every indexed point lies inside the bounding box, so its distance to
+  // an exterior query is at least MinDist(q, bounds): without this floor a
+  // query outside the box gets a useless 0 bound for the small rings whose
+  // cell square does not contain it, and NN cursors for exterior providers
+  // could never certify a candidate before exhausting the grid.
+  const double outside = MinDist(q, bounds_);
+  if (ring <= 0) return outside;
   int cx = 0, cy = 0;
   Locate(q, &cx, &cy);
   // Every point in ring >= r lies outside the square of cells at Chebyshev
@@ -72,9 +110,9 @@ double UniformGrid::RingTailMinDist(const Point& q, int ring) const {
   const double hx = bounds_.lo.x + static_cast<double>(cx + half + 1) * cell_;
   const double ly = bounds_.lo.y + static_cast<double>(cy - half) * cell_;
   const double hy = bounds_.lo.y + static_cast<double>(cy + half + 1) * cell_;
-  if (q.x < lx || q.x > hx || q.y < ly || q.y > hy) return 0.0;
+  if (q.x < lx || q.x > hx || q.y < ly || q.y > hy) return outside;
   const double side = std::min(std::min(q.x - lx, hx - q.x), std::min(q.y - ly, hy - q.y));
-  return std::max(side, 0.0);
+  return std::max(std::max(side, 0.0), outside);
 }
 
 Rect UniformGrid::CellRect(int cx, int cy) const {

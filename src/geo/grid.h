@@ -35,16 +35,30 @@ class UniformGrid {
     std::size_t count = 0;
   };
 
+  // Default resolution: average points per cell the builder aims for.
+  static constexpr double kDefaultTargetPerCell = 4.0;
+
   // Builds the grid over `points`. `target_per_cell` tunes the resolution;
   // degenerate inputs (empty set, collinear points, all-equal points) fall
-  // back to a single row/column/cell.
-  explicit UniformGrid(const std::vector<Point>& points, double target_per_cell = 4.0);
+  // back to a single row/column/cell. A non-positive `target_per_cell`
+  // auto-tunes the resolution from the instance's density: the grid is
+  // first built at the default resolution, and when the point set turns
+  // out skewed (occupied cells far above target because most of the
+  // bounding box is empty), it is rebuilt with a proportionally finer cell
+  // so the *occupied* cells land near the target again.
+  explicit UniformGrid(const std::vector<Point>& points,
+                       double target_per_cell = kDefaultTargetPerCell);
 
   std::size_t size() const { return static_cast<std::size_t>(items_.size()); }
   int cols() const { return cols_; }
   int rows() const { return rows_; }
   double cell_size() const { return cell_; }
   const Rect& bounds() const { return bounds_; }
+
+  // Occupancy diagnostics (used by the auto-tuner and its tests).
+  std::size_t NonEmptyCells() const;
+  // Average number of points per *occupied* cell (0 for an empty grid).
+  double MeanOccupancy() const;
 
   // Cell coordinates of `q`, clamped into the grid.
   void Locate(const Point& q, int* cx, int* cy) const;
@@ -93,6 +107,10 @@ class UniformGrid {
   }
 
  private:
+  // (Re)builds the CSR layout at the given resolution; `bounds_` must
+  // already be set.
+  void Build(const std::vector<Point>& points, double target_per_cell);
+
   std::size_t CellIndex(int cx, int cy) const {
     return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
            static_cast<std::size_t>(cx);

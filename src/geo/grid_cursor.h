@@ -1,0 +1,137 @@
+// Stateful candidate-discovery cursors over a UniformGrid.
+//
+// This is the shared primitive behind every grid-backed discovery path:
+// the spatially-pruned SSPA relax (src/flow/sspa.cc), the grid NN source
+// that drives NIA/IDA's edge frontier (src/core/nn_source.cc), and RIA's
+// grid-backed annular range search. The contract (see src/core/README.md):
+//
+//   * `GridRingCursor` enumerates the non-empty cells around one query
+//     point in expanding Chebyshev rings, cells within a ring served in
+//     ascending MinDist(query, cell) order. `TailMinDist()` is a certified
+//     lower bound on dist(query, p) for every point in a cell that has not
+//     been returned yet, and is non-decreasing across NextCell() calls.
+//   * `GridNnCursor` refines the cell stream into an exact incremental
+//     nearest-neighbour stream (non-decreasing point distances) by holding
+//     fetched points in a candidate heap and serving the top as soon as its
+//     distance is within `TailMinDist()`.
+// (RIA's nested annular batches need no separate range primitive: the
+// grid backend drains a persistent NN stream per provider up to each new
+// T, so inner cells are never re-fetched across batches — see
+// src/core/ria.cc.)
+//
+// Both cursors report the number of cells fetched so backends can be compared
+// apples-to-apples against R-tree node accesses (Metrics::grid_cursor_cells
+// / Metrics::index_node_accesses).
+#ifndef CCA_GEO_GRID_CURSOR_H_
+#define CCA_GEO_GRID_CURSOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace cca {
+
+class GridRingCursor {
+ public:
+  struct CellView {
+    int cx = 0;
+    int cy = 0;
+    int ring = 0;
+    double min_dist = 0.0;  // MinDist(query, cell rect)
+    UniformGrid::CellSlice slice;
+  };
+
+  GridRingCursor(const UniformGrid& grid, const Point& query);
+
+  // Rewinds the cursor onto a new query point, reusing the ring buffer's
+  // capacity — hot loops (one relax per provider pop in SSPA) reset one
+  // cursor instead of constructing fresh ones.
+  void Reset(const Point& query);
+
+  // Lower bound on dist(query, p) over every point not yet returned by
+  // NextCell(); +infinity once the grid is exhausted. Non-decreasing.
+  // Remaining cells are the still-buffered cells of the current ring
+  // (sorted by min_dist, so the head is their minimum) and everything in
+  // later rings (next_ring_bound_, cached once per ring fill — this sits
+  // on the per-cell hot path of the SSPA relax).
+  double TailMinDist() const {
+    if (exhausted_) return std::numeric_limits<double>::infinity();
+    return pos_ < buffer_.size() ? std::min(buffer_[pos_].min_dist, next_ring_bound_)
+                                 : next_ring_bound_;
+  }
+
+  bool exhausted() const { return exhausted_; }
+
+  // Next non-empty cell, or nullopt when every cell has been served.
+  std::optional<CellView> NextCell();
+
+  // Total points held by cells not yet returned (for prune accounting).
+  std::size_t points_remaining() const { return points_remaining_; }
+
+  // Number of cells fetched so far (the grid analogue of node accesses).
+  std::uint64_t cells_visited() const { return cells_visited_; }
+
+ private:
+  // Buffers the cells of the next non-empty ring, sorted by min_dist;
+  // marks the cursor exhausted when no ring remains.
+  void FillRing();
+
+  const UniformGrid* grid_;
+  Point query_;
+  int ring_ = 0;
+  int max_ring_ = 0;
+  bool exhausted_ = false;
+  double next_ring_bound_ = 0.0;  // RingTailMinDist(query, ring_ + 1)
+  std::size_t pos_ = 0;
+  std::size_t points_remaining_ = 0;
+  std::uint64_t cells_visited_ = 0;
+  std::vector<CellView> buffer_;
+};
+
+// Exact incremental NN stream over a grid: Next() yields (point id,
+// distance) pairs in non-decreasing distance order until the grid is
+// exhausted. Equal-distance candidates already fetched are served in
+// ascending id order (the stream is deterministic; ties spanning a
+// not-yet-fetched cell are served in fetch order).
+class GridNnCursor {
+ public:
+  GridNnCursor(const UniformGrid& grid, const Point& query);
+
+  std::optional<std::pair<std::int32_t, double>> Next();
+
+  // Distance the next Next() would return (+infinity when exhausted); may
+  // fetch cells to find out, like NnIterator::PeekDistance.
+  double PeekDistance();
+
+  std::uint64_t cells_visited() const { return cells_.cells_visited(); }
+
+ private:
+  struct Candidate {
+    double dist;
+    std::int32_t oid;
+  };
+  struct Farther {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return a.dist != b.dist ? a.dist > b.dist : a.oid > b.oid;
+    }
+  };
+
+  // Fetches cells until the heap top is certified (<= TailMinDist) or the
+  // grid drains.
+  void Refine();
+
+  GridRingCursor cells_;
+  Point query_;
+  std::priority_queue<Candidate, std::vector<Candidate>, Farther> heap_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_GEO_GRID_CURSOR_H_

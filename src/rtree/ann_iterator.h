@@ -8,7 +8,11 @@
 // traversal per group ordered by mindist(MBR(group), entry), and feeds every
 // de-heaped point into per-provider candidate heaps. A provider's next NN is
 // served from its candidate heap as soon as the candidate's distance is no
-// larger than the group frontier key (Algorithm 6).
+// larger than the group frontier key (Algorithm 6). Like NnIterator, this is
+// consumed through the backend-neutral NnSource interface (core/nn_source.h)
+// and must honour its per-provider non-decreasing-distance contract; the
+// frontier key plays the same certifying role as GridRingCursor's
+// TailMinDist (src/core/README.md).
 #ifndef CCA_RTREE_ANN_ITERATOR_H_
 #define CCA_RTREE_ANN_ITERATOR_H_
 

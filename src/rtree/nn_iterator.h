@@ -4,7 +4,10 @@
 // R-tree: a min-heap holds both R-tree entries (keyed by mindist to the
 // query) and points (keyed by exact distance); popping a point yields the
 // next NN. NIA and IDA use one iterator per service provider to discover
-// flow-graph edges one at a time (paper Sections 3.2, 3.3).
+// flow-graph edges one at a time (paper Sections 3.2, 3.3), wrapped behind
+// the backend-neutral NnSource interface (core/nn_source.h): Next() must
+// yield non-decreasing distances per query, which is the contract the
+// discovery layer certifies against (src/core/README.md).
 #ifndef CCA_RTREE_NN_ITERATOR_H_
 #define CCA_RTREE_NN_ITERATOR_H_
 

@@ -1,0 +1,174 @@
+// Cross-backend equivalence for the discovery layer: RIA/NIA/IDA must
+// produce cost-identical matchings whether candidates come from the R-tree
+// (plain or grouped-ANN) or from grid ring cursors, across uniform,
+// clustered and skewed instances, unit and weighted. Plus the node-access
+// regression guard: at |P|=10k memory-resident, the grid backend must do
+// >= 5x less index work than independent R-tree NN iterators.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/matching.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+ExactConfig BackendConfig(DiscoveryBackend backend) {
+  ExactConfig config;
+  config.discovery_backend = backend;
+  return config;
+}
+
+void ExpectCostEqual(const Problem& problem, const ExactResult& a, const ExactResult& b,
+                     const std::string& label) {
+  std::string error;
+  EXPECT_TRUE(ValidateMatching(problem, a.matching, &error)) << label << ": " << error;
+  EXPECT_TRUE(ValidateMatching(problem, b.matching, &error)) << label << ": " << error;
+  EXPECT_EQ(a.matching.size(), b.matching.size()) << label;
+  EXPECT_NEAR(a.matching.cost(), b.matching.cost(),
+              1e-6 * std::max(1.0, a.matching.cost()))
+      << label;
+}
+
+void ExpectBackendsEquivalent(const Problem& problem, const std::string& label) {
+  auto db = test::MakeDb(problem);
+  const ExactConfig rtree = BackendConfig(DiscoveryBackend::kAuto);  // grouped ANN
+  const ExactConfig grid = BackendConfig(DiscoveryBackend::kGrid);
+
+  const ExactResult ida_rtree = SolveIda(problem, db.get(), rtree);
+  const ExactResult ida_grid = SolveIda(problem, db.get(), grid);
+  ExpectCostEqual(problem, ida_rtree, ida_grid, label + " ida");
+  // The grid backend reads the memory-resident point array only.
+  EXPECT_EQ(ida_grid.metrics.node_accesses, 0u) << label;
+  EXPECT_GT(ida_grid.metrics.grid_cursor_cells, 0u) << label;
+  EXPECT_EQ(ida_grid.metrics.index_node_accesses, ida_grid.metrics.grid_cursor_cells) << label;
+
+  const ExactResult nia_rtree = SolveNia(problem, db.get(), rtree);
+  const ExactResult nia_grid = SolveNia(problem, db.get(), grid);
+  ExpectCostEqual(problem, nia_rtree, nia_grid, label + " nia");
+
+  const ExactResult ria_rtree = SolveRia(problem, db.get(), rtree);
+  const ExactResult ria_grid = SolveRia(problem, db.get(), grid);
+  ExpectCostEqual(problem, ria_rtree, ria_grid, label + " ria");
+  EXPECT_EQ(ria_grid.metrics.node_accesses, 0u) << label;
+  // Both backends issue one (annular) range search per provider per batch.
+  EXPECT_EQ(ria_rtree.metrics.range_searches, ria_grid.metrics.range_searches) << label;
+}
+
+std::vector<Point> SkewedPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.9) {
+      pts.push_back(Point{rng.Uniform(0.0, 80.0), rng.Uniform(0.0, 50.0)});
+    } else {
+      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+    }
+  }
+  return pts;
+}
+
+TEST(BackendEquivalence, UniformUnit) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 6 + seed;
+    spec.np = 80 + 20 * seed;
+    spec.k_lo = 1;
+    spec.k_hi = 4;
+    spec.seed = seed;
+    ExpectBackendsEquivalent(test::RandomProblem(spec), "uniform seed " + std::to_string(seed));
+  }
+}
+
+TEST(BackendEquivalence, ClusteredUnit) {
+  for (std::uint64_t seed = 10; seed <= 12; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 8;
+    spec.np = 150;
+    spec.k_lo = 2;
+    spec.k_hi = 8;
+    spec.clustered_q = true;
+    spec.clustered_p = true;
+    spec.seed = seed;
+    ExpectBackendsEquivalent(test::RandomProblem(spec), "clustered seed " + std::to_string(seed));
+  }
+}
+
+TEST(BackendEquivalence, SkewedUnit) {
+  for (std::uint64_t seed = 20; seed <= 22; ++seed) {
+    Problem problem;
+    Rng rng(seed * 5 + 2);
+    for (const auto& pos : SkewedPoints(7, seed * 3 + 1)) {
+      problem.providers.push_back(
+          Provider{pos, static_cast<std::int32_t>(rng.UniformInt(1, 5))});
+    }
+    problem.customers = SkewedPoints(110, seed * 7 + 3);
+    ExpectBackendsEquivalent(problem, "skewed seed " + std::to_string(seed));
+  }
+}
+
+TEST(BackendEquivalence, WeightedCustomers) {
+  for (std::uint64_t seed = 30; seed <= 32; ++seed) {
+    test::InstanceSpec spec;
+    spec.nq = 6;
+    spec.np = 60;
+    spec.k_lo = 3;
+    spec.k_hi = 10;
+    spec.seed = seed;
+    Problem problem = test::RandomProblem(spec);
+    Rng rng(seed);
+    problem.weights.resize(problem.customers.size());
+    for (auto& w : problem.weights) w = static_cast<std::int32_t>(rng.UniformInt(1, 4));
+    ExpectBackendsEquivalent(problem, "weighted seed " + std::to_string(seed));
+  }
+}
+
+TEST(BackendEquivalence, PlainBackendAndGreedyStillWork) {
+  test::InstanceSpec spec;
+  spec.nq = 6;
+  spec.np = 90;
+  spec.seed = 55;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  const ExactResult plain = SolveIda(problem, db.get(), BackendConfig(DiscoveryBackend::kRTreePlain));
+  const ExactResult grid = SolveIda(problem, db.get(), BackendConfig(DiscoveryBackend::kGrid));
+  ExpectCostEqual(problem, plain, grid, "plain vs grid");
+  const double g1 =
+      SolveGreedySm(problem, db.get(), BackendConfig(DiscoveryBackend::kRTreePlain)).matching.cost();
+  const double g2 =
+      SolveGreedySm(problem, db.get(), BackendConfig(DiscoveryBackend::kGrid)).matching.cost();
+  EXPECT_NEAR(g1, g2, 1e-9);
+}
+
+// The acceptance-bar regression guard: grid-backed IDA at |P|=10k
+// (memory-resident customers) must do >= 5x fewer index accesses (grid
+// cells fetched) than PlainNnSource's R-tree node reads, with identical
+// cost.
+TEST(BackendEquivalence, GridCutsIndexAccessesAtTenThousandCustomers) {
+  test::InstanceSpec spec;
+  spec.nq = 100;
+  spec.np = 10000;
+  spec.k_lo = 10;
+  spec.k_hi = 10;
+  spec.seed = 123;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);  // buffer covers the whole tree
+
+  const ExactResult plain =
+      SolveIda(problem, db.get(), BackendConfig(DiscoveryBackend::kRTreePlain));
+  const ExactResult grid = SolveIda(problem, db.get(), BackendConfig(DiscoveryBackend::kGrid));
+  ExpectCostEqual(problem, plain, grid, "10k regression");
+  EXPECT_GT(plain.metrics.index_node_accesses, 0u);
+  EXPECT_GT(grid.metrics.index_node_accesses, 0u);
+  EXPECT_LE(grid.metrics.index_node_accesses * 5, plain.metrics.index_node_accesses)
+      << "grid cells=" << grid.metrics.index_node_accesses
+      << " rtree nodes=" << plain.metrics.index_node_accesses;
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff a freshly produced BENCH_*.json against a committed baseline.
+
+Usage: bench_diff.py NEW.json BASELINE.json [--relax-slack FRAC]
+
+Rows are matched on their identifying keys (n_q/n_p/k/mode for
+bench_micro_flow output, setting/algo for the figure benches); rows present
+in only one file are ignored (CI runs a size-capped subset of the committed
+baseline). For every matched pair the check fails when
+
+  * the matching cost differs by more than 1e-6 relative (the solvers are
+    exact: any cost drift is a correctness bug), or
+  * a deterministic work counter (relaxes, pops, node accesses, cursor
+    cells) regresses by more than --relax-slack (default 10%) over the
+    baseline.
+
+Timing fields are reported but never gated: wall clock is machine-
+dependent, the work counters are not.
+"""
+import argparse
+import json
+import sys
+
+ID_KEYS = ("n_q", "n_p", "k", "mode", "setting", "algo")
+COUNTER_KEYS = (
+    "relaxes",
+    "pops",
+    "grid_rings_scanned",
+    "grid_cursor_cells",
+    "esub",
+    "node_accesses",
+    "index_node_accesses",
+    "nn_searches",
+)
+
+
+def row_id(row):
+    return tuple((k, row[k]) for k in ID_KEYS if k in row)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--relax-slack", type=float, default=0.10,
+                        help="allowed fractional counter growth over baseline")
+    args = parser.parse_args()
+
+    with open(args.new_json) as f:
+        new_rows = {row_id(r): r for r in json.load(f)}
+    with open(args.baseline_json) as f:
+        base_rows = {row_id(r): r for r in json.load(f)}
+
+    shared = sorted(set(new_rows) & set(base_rows))
+    if not shared:
+        print(f"bench_diff: no shared rows between {args.new_json} and "
+              f"{args.baseline_json}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for key in shared:
+        new, base = new_rows[key], base_rows[key]
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if "cost" in new and "cost" in base:
+            tol = 1e-6 * max(1.0, abs(base["cost"]))
+            if abs(new["cost"] - base["cost"]) > tol:
+                failures.append(
+                    f"{label}: cost {new['cost']} != baseline {base['cost']}")
+        for counter in COUNTER_KEYS:
+            if counter not in new or counter not in base:
+                continue
+            limit = base[counter] * (1.0 + args.relax_slack)
+            if new[counter] > limit:
+                failures.append(
+                    f"{label}: {counter} {new[counter]} exceeds baseline "
+                    f"{base[counter]} by more than {args.relax_slack:.0%}")
+
+    print(f"bench_diff: compared {len(shared)} shared rows "
+          f"({len(new_rows) - len(shared)} new-only, "
+          f"{len(base_rows) - len(shared)} baseline-only skipped)")
+    if failures:
+        print("bench_diff: REGRESSIONS FOUND", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
