@@ -1,9 +1,12 @@
 // Micro-benchmark for the SSPA flow kernel: dense relax scan vs. the
-// grid-pruned relax, across problem sizes.
+// grid-pruned relax vs. the shared-frontier relax (one SharedCellSweep
+// subscribed to by every provider: identical relax trajectory, but only
+// first cell materialisations charge the index-read ledger), across
+// problem sizes.
 //
 // Prints a human-readable table and writes a machine-readable
 // `BENCH_sspa.json` (array of runs: n_q, n_p, k, mode, relaxes, pruned,
-// pops, rings, millis, cost) so successive PRs can track the perf
+// pops, rings, cells, millis, cost) so successive PRs can track the perf
 // trajectory. Usage:
 //
 //   bench_micro_flow [--out BENCH_sspa.json] [--max-np N] [--dense-max-np N]
@@ -45,11 +48,13 @@ struct Run {
 };
 
 void PrintRow(const Run& r) {
-  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %10llu %10.1f %12.1f\n", r.nq, r.np, r.k,
-              r.mode, static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
+  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %10llu %10llu %10.1f %12.1f\n", r.nq,
+              r.np, r.k, r.mode,
+              static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
               static_cast<unsigned long long>(r.result.metrics.relaxes_pruned),
               static_cast<unsigned long long>(r.result.metrics.dijkstra_pops),
               static_cast<unsigned long long>(r.result.metrics.grid_rings_scanned),
+              static_cast<unsigned long long>(r.result.metrics.grid_cursor_cells),
               r.result.metrics.cpu_millis, r.result.matching.cost());
   std::fflush(stdout);
 }
@@ -68,6 +73,7 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
                  "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
                  "\"relaxes\": %llu, \"relaxes_pruned\": %llu, \"pops\": %llu, "
                  "\"grid_rings_scanned\": %llu, \"grid_cursor_cells\": %llu, "
+                 "\"shared_frontier_cell_fetches\": %llu, \"shared_frontier_fanout\": %llu, "
                  "\"augmentations\": %llu, "
                  "\"millis\": %.3f, \"cost\": %.3f}%s\n",
                  r.nq, r.np, r.k, r.mode, static_cast<unsigned long long>(m.dijkstra_relaxes),
@@ -75,6 +81,8 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.grid_rings_scanned),
                  static_cast<unsigned long long>(m.grid_cursor_cells),
+                 static_cast<unsigned long long>(m.shared_frontier_cell_fetches),
+                 static_cast<unsigned long long>(m.shared_frontier_fanout),
                  static_cast<unsigned long long>(m.augmentations), m.cpu_millis,
                  r.result.matching.cost(), i + 1 < runs.size() ? "," : "");
   }
@@ -119,8 +127,8 @@ int main(int argc, char** argv) {
       {50, 5000, 40}, {100, 10000, 40}, {100, 20000, 80},
   };
 
-  std::printf("%6s %8s %4s %-6s %14s %14s %12s %10s %10s %12s\n", "nq", "np", "k", "mode",
-              "relaxes", "pruned", "pops", "rings", "millis", "cost");
+  std::printf("%6s %8s %4s %-6s %14s %14s %12s %10s %10s %10s %12s\n", "nq", "np", "k", "mode",
+              "relaxes", "pruned", "pops", "rings", "cells", "millis", "cost");
   std::vector<Run> runs;
   for (const Shape& s : shapes) {
     if (s.np > max_np) continue;
@@ -128,16 +136,33 @@ int main(int argc, char** argv) {
     cca::SspaConfig grid_config;
     grid_config.use_grid = true;
     runs.push_back(Run{s.nq, s.np, s.k, "grid", cca::SolveSspa(problem, grid_config)});
+    const std::size_t grid_run = runs.size() - 1;
     PrintRow(runs.back());
+    {
+      // Shared-frontier relax: same trajectory, amortised cell ledger
+      // (providers popped at similar keys stop re-charging shared cells).
+      cca::SspaConfig shared_config;
+      shared_config.use_grid = true;
+      shared_config.use_shared_frontier = true;
+      runs.push_back(Run{s.nq, s.np, s.k, "shared", cca::SolveSspa(problem, shared_config)});
+      PrintRow(runs.back());
+      const Run& g = runs[grid_run];
+      const Run& sh = runs[runs.size() - 1];
+      if (std::abs(g.result.matching.cost() - sh.result.matching.cost()) >
+              1e-6 * std::max(1.0, g.result.matching.cost()) ||
+          sh.result.metrics.grid_cursor_cells > g.result.metrics.grid_cursor_cells) {
+        std::fprintf(stderr, "SHARED-FRONTIER MISMATCH at nq=%zu np=%zu\n", s.nq, s.np);
+        return 1;
+      }
+    }
     if (s.np <= dense_max_np) {
       cca::SspaConfig dense_config;
       dense_config.use_grid = false;
       runs.push_back(Run{s.nq, s.np, s.k, "dense", cca::SolveSspa(problem, dense_config)});
       PrintRow(runs.back());
-      const Run& g = runs[runs.size() - 2];
+      const Run& g = runs[grid_run];
       const Run& d = runs[runs.size() - 1];
-      if (std::strcmp(g.mode, "grid") == 0 &&
-          std::abs(g.result.matching.cost() - d.result.matching.cost()) >
+      if (std::abs(g.result.matching.cost() - d.result.matching.cost()) >
               1e-6 * std::max(1.0, d.result.matching.cost())) {
         std::fprintf(stderr, "COST MISMATCH grid=%.6f dense=%.6f at nq=%zu np=%zu\n",
                      g.result.matching.cost(), d.result.matching.cost(), s.nq, s.np);

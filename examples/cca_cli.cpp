@@ -6,13 +6,16 @@
 //   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
 //           [--seed S] [--no-pua] [--no-ann] [--dense]
-//           [--backend auto|rtree|ann|grid]
+//           [--backend auto|rtree|ann|grid|grid-batched]
 //
 // --dense switches SSPA to the literal every-customer relax scan (the
 // grid-pruned relax is the default); use it for A/B comparisons.
 // --backend selects the candidate-discovery backend of the exact solvers:
-// independent R-tree NN iterators, the grouped ANN traversal, or grid ring
-// cursors over the memory-resident customer array.
+// independent R-tree NN iterators, the grouped ANN traversal, grid ring
+// cursors over the memory-resident customer array, or the batched shared
+// frontier (grid-batched: Hilbert-grouped providers sharing one cell sweep
+// per group). For --solver sspa, grid-batched serves the relax scans from
+// the shared sweep too (SspaConfig::use_shared_frontier).
 //
 // Output: one `key=value` line per metric (easy to grep / parse).
 #include <cstdio>
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
                  "               [--seed S] [--no-pua] [--no-ann] [--dense]\n"
-                 "               [--backend auto|rtree|ann|grid]\n");
+                 "               [--backend auto|rtree|ann|grid|grid-batched]\n");
     return 2;
   }
 
@@ -134,6 +137,8 @@ int main(int argc, char** argv) {
     exact.discovery_backend = DiscoveryBackend::kRTreeGrouped;
   } else if (args.backend == "grid") {
     exact.discovery_backend = DiscoveryBackend::kGrid;
+  } else if (args.backend == "grid-batched") {
+    exact.discovery_backend = DiscoveryBackend::kGridBatched;
   } else if (args.backend != "auto") {
     std::fprintf(stderr, "unknown backend '%s'\n", args.backend.c_str());
     return 2;
@@ -151,8 +156,14 @@ int main(int argc, char** argv) {
     matching = std::move(r.matching);
     metrics = r.metrics;
   } else if (args.solver == "sspa") {
+    if (args.dense_sspa && args.backend == "grid-batched") {
+      std::fprintf(stderr, "--dense and --backend grid-batched are mutually exclusive: "
+                           "the dense scan never touches the grid\n");
+      return 2;
+    }
     SspaConfig config;
     config.use_grid = !args.dense_sspa;
+    config.use_shared_frontier = args.backend == "grid-batched";
     SspaResult r = SolveSspa(problem, config);
     matching = std::move(r.matching);
     metrics = r.metrics;
@@ -189,6 +200,10 @@ int main(int argc, char** argv) {
   std::printf("node_accesses=%llu\n", static_cast<unsigned long long>(metrics.node_accesses));
   std::printf("grid_cursor_cells=%llu\n",
               static_cast<unsigned long long>(metrics.grid_cursor_cells));
+  std::printf("shared_frontier_cell_fetches=%llu\n",
+              static_cast<unsigned long long>(metrics.shared_frontier_cell_fetches));
+  std::printf("shared_frontier_fanout=%llu\n",
+              static_cast<unsigned long long>(metrics.shared_frontier_fanout));
   std::printf("index_node_accesses=%llu\n",
               static_cast<unsigned long long>(metrics.index_node_accesses));
   std::printf("page_faults=%llu\n", static_cast<unsigned long long>(metrics.page_faults));

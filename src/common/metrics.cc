@@ -19,6 +19,8 @@ void Metrics::Accumulate(const Metrics& other) {
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;
   grid_cursor_cells += other.grid_cursor_cells;
+  shared_frontier_cell_fetches += other.shared_frontier_cell_fetches;
+  shared_frontier_fanout += other.shared_frontier_fanout;
   index_node_accesses += other.index_node_accesses;
   page_faults += other.page_faults;
   cpu_millis += other.cpu_millis;

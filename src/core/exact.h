@@ -32,12 +32,17 @@ namespace cca {
 //   kRTreePlain    one independent best-first NN iterator per provider,
 //   kRTreeGrouped  the paper's shared Hilbert-grouped ANN traversal (3.4.2),
 //   kGrid          uniform-grid ring cursors over the raw point array
-//                  (memory-resident customers: no R-tree, no page I/O).
+//                  (memory-resident customers: no R-tree, no page I/O),
+//   kGridBatched   the grid analogue of kRTreeGrouped: providers are
+//                  Hilbert-grouped and each group shares one SharedFrontier
+//                  cell sweep (geo/shared_frontier.h) — a cell is fetched
+//                  once per group and multiplexed to every member.
 enum class DiscoveryBackend {
   kAuto = 0,  // honour `use_ann_grouping` (the legacy switch)
   kRTreePlain,
   kRTreeGrouped,
   kGrid,
+  kGridBatched,
 };
 
 struct ExactConfig {
@@ -49,6 +54,12 @@ struct ExactConfig {
   // Consulted only when discovery_backend == kAuto.
   bool use_ann_grouping = true;
   std::size_t ann_group_size = 8;
+  // Providers per SharedFrontier group (kGridBatched); 0 picks the
+  // default. Grid streaming cells (~256 points) are fatter than R-tree
+  // leaf pages and multiplexing a fetched cell is cheap in-memory work,
+  // so the sweet spot sits above the ANN group size: 16 roughly halves
+  // the fetch count again versus groups of 8 at |Q|=100, |P|=10k.
+  std::size_t batch_group_size = 0;
   // How RIA/NIA/IDA (and the greedy baseline) discover spatial candidates.
   DiscoveryBackend discovery_backend = DiscoveryBackend::kAuto;
   // Grid backend resolution for NN *streaming*: average customers per

@@ -5,6 +5,7 @@
 #include "core/customer_db.h"
 #include "geo/grid.h"
 #include "geo/grid_cursor.h"
+#include "geo/shared_frontier.h"
 #include "rtree/ann_iterator.h"
 #include "rtree/nn_iterator.h"
 #include "rtree/rtree.h"
@@ -18,6 +19,9 @@ namespace {
 // per-fetch cost — one fetch is one contiguous SoA scan, the grid analogue
 // of reading an R-tree leaf page.
 constexpr double kNnStreamTargetPerCell = 256.0;
+
+// Default SharedFrontier group size (ExactConfig::batch_group_size == 0).
+constexpr std::size_t kBatchGroupSize = 16;
 
 std::optional<NnSource::Hit> FromRTreeHit(const std::optional<RTree::Hit>& hit) {
   if (!hit) return std::nullopt;
@@ -107,6 +111,85 @@ class GridNnSource : public NnSource {
   std::vector<GridNnCursor> cursors_;
 };
 
+// Hilbert-grouped shared frontiers over the grid: one SharedFrontier per
+// group of adjacent providers (FormHilbertGroups, the same run-length
+// grouping the ANN backend uses). Every cell a group fetches is charged
+// once and multiplexed to all members, so nearby providers popped at
+// similar keys stop re-fetching each other's cells.
+class BatchedGridSource : public NnSource {
+ public:
+  BatchedGridSource(const std::vector<Point>& customers, const std::vector<Provider>& providers,
+                    double target_per_cell, std::size_t max_group_size, const Rect& world,
+                    Metrics* metrics)
+      : grid_(customers, target_per_cell), metrics_(metrics) {
+    std::vector<Point> positions;
+    positions.reserve(providers.size());
+    for (const auto& q : providers) positions.push_back(q.pos);
+    const auto groups = FormHilbertGroups(positions, max_group_size, world);
+    member_of_.resize(providers.size());
+    frontiers_.reserve(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<Point> members;
+      members.reserve(groups[g].size());
+      for (const int idx : groups[g]) {
+        member_of_[static_cast<std::size_t>(idx)] = {static_cast<int>(g),
+                                                     static_cast<int>(members.size())};
+        members.push_back(positions[static_cast<std::size_t>(idx)]);
+      }
+      frontiers_.push_back(std::make_unique<SharedFrontier>(grid_, members));
+    }
+  }
+
+  // Runs `op` and charges the cells it fetched (and the deliveries it
+  // produced) to the metrics bundle, mirroring GridNnSource::Charged
+  // (defined before its uses: in-class `auto` deduction needs the body
+  // first).
+  template <typename Op>
+  auto Charged(SharedFrontier& frontier, Op&& op) {
+    const SharedFrontierStats before = frontier.stats();
+    auto result = op(frontier);
+    if (metrics_ != nullptr) {
+      const SharedFrontierStats& after = frontier.stats();
+      const std::uint64_t fetches = after.cell_fetches - before.cell_fetches;
+      metrics_->grid_cursor_cells += fetches;
+      metrics_->index_node_accesses += fetches;
+      metrics_->shared_frontier_cell_fetches += fetches;
+      metrics_->shared_frontier_fanout += after.fanout - before.fanout;
+    }
+    return result;
+  }
+
+  std::optional<Hit> NextNN(int q) override {
+    const auto [g, m] = member_of_[static_cast<std::size_t>(q)];
+    const auto next = Charged(*frontiers_[static_cast<std::size_t>(g)],
+                              [&](SharedFrontier& f) { return f.NextNN(m); });
+    if (!next) return std::nullopt;
+    return Hit{next->first, next->second};
+  }
+
+  double PeekDistance(int q) override {
+    const auto [g, m] = member_of_[static_cast<std::size_t>(q)];
+    return Charged(*frontiers_[static_cast<std::size_t>(g)],
+                   [&](SharedFrontier& f) { return f.PeekDistance(m); });
+  }
+
+  void Retire(int q) override {
+    const auto [g, m] = member_of_[static_cast<std::size_t>(q)];
+    frontiers_[static_cast<std::size_t>(g)]->Unsubscribe(m);
+  }
+
+ private:
+  struct MemberRef {
+    int group = 0;
+    int member = 0;
+  };
+
+  UniformGrid grid_;
+  Metrics* metrics_;
+  std::vector<MemberRef> member_of_;
+  std::vector<std::unique_ptr<SharedFrontier>> frontiers_;
+};
+
 }  // namespace
 
 DiscoveryBackend ResolveDiscoveryBackend(const ExactConfig& config, std::size_t num_providers) {
@@ -126,6 +209,11 @@ std::unique_ptr<NnSource> MakeNnSource(CustomerDb* db, const Problem& problem,
     case DiscoveryBackend::kGrid:
       return std::make_unique<GridNnSource>(db->points(), problem.providers,
                                             ResolveGridTargetPerCell(config), metrics);
+    case DiscoveryBackend::kGridBatched:
+      return std::make_unique<BatchedGridSource>(
+          db->points(), problem.providers, ResolveGridTargetPerCell(config),
+          config.batch_group_size > 0 ? config.batch_group_size : kBatchGroupSize,
+          problem.World(), metrics);
     case DiscoveryBackend::kRTreeGrouped:
       return std::make_unique<GroupedNnSource>(db->tree(), problem.providers,
                                                config.ann_group_size, problem.World());

@@ -11,7 +11,11 @@
 //                      Section 3.4.2;
 //   * GridNnSource     uniform-grid ring cursors over the memory-resident
 //                      customer array (src/geo/grid_cursor.h) — no R-tree
-//                      nodes are touched and no page I/O is charged.
+//                      nodes are touched and no page I/O is charged;
+//   * BatchedGridSource Hilbert-grouped SharedFrontier sweeps
+//                      (src/geo/shared_frontier.h): each group fetches a
+//                      cell once and multiplexes its points to every
+//                      member, the grid analogue of GroupedNnSource.
 //
 // The concrete classes live in nn_source.cc; callers go through the
 // factory, which resolves ExactConfig::discovery_backend.
@@ -47,6 +51,12 @@ class NnSource {
   // without consuming it; may read index structures to find out. RIA's
   // grid path drains a source batch-by-batch against this bound.
   virtual double PeekDistance(int q) = 0;
+  // Provider `q`'s stream is expected not to be consumed again (capacity
+  // exhausted, or the solver retired it). Purely an optimisation hint:
+  // batched sources stop multiplexing shared fetches to `q`; per-provider
+  // backends ignore it. A retired stream stays exact if consumed anyway —
+  // it just no longer amortises with its group.
+  virtual void Retire(int q) { (void)q; }
 };
 
 // Resolves kAuto against the legacy `use_ann_grouping` switch.

@@ -9,8 +9,9 @@
 //
 // The annular batches are served by the configured discovery backend. The
 // R-tree path issues one AnnularRangeSearch per provider per batch. The
-// grid path (memory-resident customer sets) holds a GridNnSource and, per
-// batch, drains each provider's stream up to the new T against
+// grid paths (memory-resident customer sets) hold a grid NnSource — per
+// provider cursors, or the batched shared frontier — and, per
+// batch, drain each provider's stream up to the new T against
 // PeekDistance(): successive annuli are nested (each batch's lo equals the
 // previous hi), so resuming the incremental NN stream yields exactly the
 // (lo, hi] batch without ever re-fetching inner-disk cells, charges no
@@ -40,8 +41,9 @@ ExactResult SolveRia(const Problem& problem, CustomerDb* db, const ExactConfig& 
   const double world_diag = problem.World().Diagonal();
   const auto nq = problem.providers.size();
 
-  std::unique_ptr<NnSource> grid_source;  // grid backend: resumable stream per provider
-  if (ResolveDiscoveryBackend(config, nq) == DiscoveryBackend::kGrid) {
+  std::unique_ptr<NnSource> grid_source;  // grid backends: resumable stream per provider
+  const DiscoveryBackend backend = ResolveDiscoveryBackend(config, nq);
+  if (backend == DiscoveryBackend::kGrid || backend == DiscoveryBackend::kGridBatched) {
     grid_source = MakeNnSource(db, problem, config, &result.metrics);
   }
   std::vector<RTree::Hit> hits;

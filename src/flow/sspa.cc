@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "geo/grid.h"
 #include "geo/grid_cursor.h"
+#include "geo/shared_frontier.h"
 
 namespace cca {
 namespace {
@@ -45,7 +46,11 @@ class SspaSolver {
         heap_(nq_ + np_ + 1) {
     if (config_.use_grid && np_ > 0) {
       grid_ = std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
-      relax_cursor_ = std::make_unique<GridRingCursor>(*grid_, Point{});
+      if (config_.use_shared_frontier) {
+        shared_sweep_ = std::make_unique<SharedCellSweep>(*grid_);
+      } else {
+        relax_cursor_ = std::make_unique<GridRingCursor>(*grid_, Point{});
+      }
     }
   }
 
@@ -172,9 +177,36 @@ class SspaSolver {
   // invariant is spelled out in src/flow/README.md).
   void RelaxProviderGrid(std::size_t q, Metrics* metrics) {
     const Point q_pos = problem_.providers[q].pos;
-    const double slack = alpha_[q] - tau_q_[q] + min_tau_p_;
+    if (shared_sweep_ != nullptr) {
+      // Shared sweep: identical scan order, but cells another provider
+      // already materialised are served resident — only first fetches
+      // charge the index-read ledger.
+      shared_sweep_->Reset(q_pos);
+      const SharedFrontierStats before = shared_sweep_->stats();
+      RelaxOverCursor(q, q_pos, *shared_sweep_, metrics);
+      const SharedFrontierStats& after = shared_sweep_->stats();
+      const std::uint64_t fetches = after.cell_fetches - before.cell_fetches;
+      metrics->grid_cursor_cells += fetches;
+      metrics->index_node_accesses += fetches;
+      metrics->shared_frontier_cell_fetches += fetches;
+      metrics->shared_frontier_fanout += after.fanout - before.fanout;
+      return;
+    }
     GridRingCursor& cursor = *relax_cursor_;
     cursor.Reset(q_pos);
+    RelaxOverCursor(q, q_pos, cursor, metrics);
+    // The cursor's own counter is the source of truth for cell charging
+    // (same convention as GridNnSource); it was reset at scan start.
+    metrics->grid_cursor_cells += cursor.cells_visited();
+    metrics->index_node_accesses += cursor.cells_visited();
+  }
+
+  // The relax scan itself, generic over the cursor flavour (private
+  // GridRingCursor or SharedCellSweep — both expose TailMinDist /
+  // NextCell / points_remaining). Charging stays with the caller.
+  template <typename Cursor>
+  void RelaxOverCursor(std::size_t q, const Point& q_pos, Cursor& cursor, Metrics* metrics) {
+    const double slack = alpha_[q] - tau_q_[q] + min_tau_p_;
     int last_ring = -1;
     while (true) {
       // `sink_ub` only shrinks while cells are scanned (run_ub_ picks up
@@ -199,10 +231,6 @@ class SspaSolver {
       RelaxSlice(q, q_pos, cell->slice.ids, cell->slice.xs, cell->slice.ys, cell->slice.count,
                  /*ub_prune=*/false, metrics);
     }
-    // The cursor's own counter is the source of truth for cell charging
-    // (same convention as GridNnSource); it was reset at pop start.
-    metrics->grid_cursor_cells += cursor.cells_visited();
-    metrics->index_node_accesses += cursor.cells_visited();
   }
 
   void RelaxCustomer(std::size_t p, Metrics* metrics) {
@@ -358,7 +386,8 @@ class SspaSolver {
   bool unit_customers_;
   PointsSoA coords_;  // dense mode only, built lazily
   std::unique_ptr<UniformGrid> grid_;
-  std::unique_ptr<GridRingCursor> relax_cursor_;  // reset per provider pop
+  std::unique_ptr<GridRingCursor> relax_cursor_;    // reset per provider pop
+  std::unique_ptr<SharedCellSweep> shared_sweep_;  // use_shared_frontier mode
   double min_tau_p_ = 0.0;
   double run_ub_ = kInf;  // best known complete-path cost this Dijkstra run
   std::vector<double> tau_q_;

@@ -38,6 +38,13 @@ struct SspaConfig {
   // the resolution from the instance's density (UniformGrid rebuilds with
   // finer cells when the point set is skewed).
   double grid_target_per_cell = 4.0;
+  // Serve the relax scans from one SharedCellSweep subscribed to by every
+  // provider instead of a private per-solver ring cursor: providers popped
+  // at similar keys re-scan overlapping cells, and the sweep keeps swept
+  // cells resident so only first materialisations charge an index read
+  // (geo/shared_frontier.h). Relax order and matchings are identical to
+  // the private-cursor path; only the cell-fetch ledger changes.
+  bool use_shared_frontier = false;
 };
 
 struct SspaResult {

@@ -22,24 +22,36 @@ UniformGrid::UniformGrid(const std::vector<Point>& points, double target_per_cel
   if (occupancy > 1.5 * kDefaultTargetPerCell) {
     const double tuned =
         std::max(1.0, kDefaultTargetPerCell * (kDefaultTargetPerCell / occupancy));
-    Build(points, tuned);
+    // Skip the rebuild when the tuned target resolves to the resolution
+    // already built (degenerate extents clamp to the same cell geometry):
+    // re-binning the points would reproduce the CSR arrays bit for bit.
+    double cell = 0.0;
+    int cols = 0, rows = 0;
+    ResolutionFor(points.size(), tuned, &cell, &cols, &rows);
+    if (cell != cell_ || cols != cols_ || rows != rows_) Build(points, tuned);
   }
 }
 
-void UniformGrid::Build(const std::vector<Point>& points, double target_per_cell) {
+void UniformGrid::ResolutionFor(std::size_t n_points, double target_per_cell, double* cell,
+                                int* cols, int* rows) const {
   const double w = bounds_.width();
   const double h = bounds_.height();
-  const double n = static_cast<double>(points.size());
+  const double n = static_cast<double>(n_points);
   const double cells_target = std::max(1.0, n / std::max(1.0, target_per_cell));
   if (w > 0.0 && h > 0.0) {
-    cell_ = std::sqrt(w * h / cells_target);
+    *cell = std::sqrt(w * h / cells_target);
   } else if (w > 0.0 || h > 0.0) {
-    cell_ = std::max(w, h) / cells_target;  // collinear: one row/column
+    *cell = std::max(w, h) / cells_target;  // collinear: one row/column
   } else {
-    cell_ = 1.0;  // all points coincide (or empty): a single cell
+    *cell = 1.0;  // all points coincide (or empty): a single cell
   }
-  cols_ = std::max(1, static_cast<int>(std::ceil(w / cell_)));
-  rows_ = std::max(1, static_cast<int>(std::ceil(h / cell_)));
+  *cols = std::max(1, static_cast<int>(std::ceil(w / *cell)));
+  *rows = std::max(1, static_cast<int>(std::ceil(h / *cell)));
+}
+
+void UniformGrid::Build(const std::vector<Point>& points, double target_per_cell) {
+  ++build_count_;
+  ResolutionFor(points.size(), target_per_cell, &cell_, &cols_, &rows_);
 
   const std::size_t num_cells = static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
   start_.assign(num_cells + 1, 0);

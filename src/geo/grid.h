@@ -59,6 +59,11 @@ class UniformGrid {
   std::size_t NonEmptyCells() const;
   // Average number of points per *occupied* cell (0 for an empty grid).
   double MeanOccupancy() const;
+  // CSR (re)builds performed so far: 1 for a fixed resolution, 2 when the
+  // auto-tuner rebuilt finer — and still 1 when the tuned target resolves
+  // to the resolution already built (degenerate extents), which the tuner
+  // skips as a no-op.
+  int build_count() const { return build_count_; }
 
   // Cell coordinates of `q`, clamped into the grid.
   void Locate(const Point& q, int* cx, int* cy) const;
@@ -77,6 +82,14 @@ class UniformGrid {
   Rect CellRect(int cx, int cy) const;
 
   CellSlice Cell(int cx, int cy) const;
+
+  // Row-major index of cell (cx, cy) in [0, cols*rows): the addressing
+  // contract for per-cell side tables (shared-frontier delivered/resident
+  // bitmaps key on it).
+  std::size_t CellIndex(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(cx);
+  }
 
   // Calls fn(cx, cy, slice) for every non-empty cell of ring `ring` around
   // the (clamped) cell of `q`.
@@ -107,14 +120,15 @@ class UniformGrid {
   }
 
  private:
+  // Resolution Build would choose for `n` points at `target_per_cell`
+  // (pure function of bounds_ — lets the auto-tuner detect no-op rebuilds
+  // without touching the CSR arrays).
+  void ResolutionFor(std::size_t n, double target_per_cell, double* cell, int* cols,
+                     int* rows) const;
+
   // (Re)builds the CSR layout at the given resolution; `bounds_` must
   // already be set.
   void Build(const std::vector<Point>& points, double target_per_cell);
-
-  std::size_t CellIndex(int cx, int cy) const {
-    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
-           static_cast<std::size_t>(cx);
-  }
 
   template <typename Fn>
   void VisitCell(int cx, int cy, Fn& fn) const {
@@ -126,6 +140,7 @@ class UniformGrid {
   double cell_ = 1.0;
   int cols_ = 1;
   int rows_ = 1;
+  int build_count_ = 0;
   std::vector<std::int32_t> start_;  // CSR: cell -> first slot, size cols*rows+1
   std::vector<std::int32_t> items_;  // point ids, clustered by cell
   std::vector<double> xs_;           // coordinates aligned with items_

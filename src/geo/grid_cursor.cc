@@ -63,8 +63,8 @@ void GridNnCursor::Refine() {
     const auto cell = cells_.NextCell();
     if (!cell) break;
     for (std::size_t i = 0; i < cell->slice.count; ++i) {
-      heap_.push(Candidate{Distance(query_, Point{cell->slice.xs[i], cell->slice.ys[i]}),
-                           cell->slice.ids[i]});
+      heap_.push(NnCandidate{Distance(query_, Point{cell->slice.xs[i], cell->slice.ys[i]}),
+                             cell->slice.ids[i]});
     }
   }
 }
@@ -72,7 +72,7 @@ void GridNnCursor::Refine() {
 std::optional<std::pair<std::int32_t, double>> GridNnCursor::Next() {
   Refine();
   if (heap_.empty()) return std::nullopt;
-  const Candidate top = heap_.top();
+  const NnCandidate top = heap_.top();
   heap_.pop();
   return std::make_pair(top.oid, top.dist);
 }

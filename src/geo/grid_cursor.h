@@ -38,6 +38,20 @@
 
 namespace cca {
 
+// Candidate-heap entry for exact-NN refinement over fetched cells, and
+// its ordering: nearest first, equal distances by ascending id. Shared by
+// GridNnCursor and SharedFrontier so their streams tie-break identically
+// (SharedFrontier's single-subscriber degeneracy depends on it).
+struct NnCandidate {
+  double dist;
+  std::int32_t oid;
+};
+struct NnCandidateFarther {
+  bool operator()(const NnCandidate& a, const NnCandidate& b) const {
+    return a.dist != b.dist ? a.dist > b.dist : a.oid > b.oid;
+  }
+};
+
 class GridRingCursor {
  public:
   struct CellView {
@@ -113,23 +127,13 @@ class GridNnCursor {
   std::uint64_t cells_visited() const { return cells_.cells_visited(); }
 
  private:
-  struct Candidate {
-    double dist;
-    std::int32_t oid;
-  };
-  struct Farther {
-    bool operator()(const Candidate& a, const Candidate& b) const {
-      return a.dist != b.dist ? a.dist > b.dist : a.oid > b.oid;
-    }
-  };
-
   // Fetches cells until the heap top is certified (<= TailMinDist) or the
   // grid drains.
   void Refine();
 
   GridRingCursor cells_;
   Point query_;
-  std::priority_queue<Candidate, std::vector<Candidate>, Farther> heap_;
+  std::priority_queue<NnCandidate, std::vector<NnCandidate>, NnCandidateFarther> heap_;
 };
 
 }  // namespace cca

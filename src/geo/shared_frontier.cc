@@ -1,0 +1,79 @@
+#include "geo/shared_frontier.h"
+
+#include <limits>
+
+namespace cca {
+
+SharedFrontier::SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries)
+    : grid_(&grid) {
+  const std::size_t num_cells =
+      static_cast<std::size_t>(grid.cols()) * static_cast<std::size_t>(grid.rows());
+  subs_.reserve(queries.size());
+  for (const auto& q : queries) {
+    subs_.push_back(Subscriber{q, GridRingCursor(grid, q), {}, std::vector<char>(num_cells, 0),
+                               /*active=*/true});
+  }
+}
+
+void SharedFrontier::Refine(int q) {
+  Subscriber& sub = subs_[static_cast<std::size_t>(q)];
+  while (!sub.walker.exhausted() &&
+         (sub.heap.empty() || sub.heap.top().dist > sub.walker.TailMinDist())) {
+    const auto cell = sub.walker.NextCell();
+    if (!cell) break;
+    const std::size_t id = grid_->CellIndex(cell->cx, cell->cy);
+    // Multiplexed to this subscriber on an earlier fetch: the points are
+    // already in its heap, the walk past the cell just tightens the bound.
+    if (sub.delivered[id]) continue;
+    ++stats_.cell_fetches;
+    // One fetch, every active subscriber that still lacks the cell gets
+    // its points — the grouped-ANN delivery rule. The demander receives
+    // it even when unsubscribed, so a retired member's stream stays exact
+    // (it merely stops amortising with the group).
+    for (Subscriber& member : subs_) {
+      if ((!member.active && &member != &sub) || member.delivered[id]) continue;
+      member.delivered[id] = 1;
+      ++stats_.fanout;
+      for (std::size_t i = 0; i < cell->slice.count; ++i) {
+        member.heap.push(
+            NnCandidate{Distance(member.query, Point{cell->slice.xs[i], cell->slice.ys[i]}),
+                        cell->slice.ids[i]});
+      }
+    }
+  }
+}
+
+std::optional<std::pair<std::int32_t, double>> SharedFrontier::NextNN(int q) {
+  Refine(q);
+  auto& heap = subs_[static_cast<std::size_t>(q)].heap;
+  if (heap.empty()) return std::nullopt;
+  const NnCandidate top = heap.top();
+  heap.pop();
+  return std::make_pair(top.oid, top.dist);
+}
+
+double SharedFrontier::PeekDistance(int q) {
+  Refine(q);
+  const auto& heap = subs_[static_cast<std::size_t>(q)].heap;
+  return heap.empty() ? std::numeric_limits<double>::infinity() : heap.top().dist;
+}
+
+SharedCellSweep::SharedCellSweep(const UniformGrid& grid)
+    : grid_(&grid),
+      cursor_(grid, Point{}),
+      resident_(static_cast<std::size_t>(grid.cols()) * static_cast<std::size_t>(grid.rows()),
+                0) {}
+
+std::optional<GridRingCursor::CellView> SharedCellSweep::NextCell() {
+  const auto cell = cursor_.NextCell();
+  if (!cell) return cell;
+  auto& slot = resident_[grid_->CellIndex(cell->cx, cell->cy)];
+  if (slot == 0) {
+    slot = 1;
+    ++stats_.cell_fetches;
+  }
+  ++stats_.fanout;
+  return cell;
+}
+
+}  // namespace cca

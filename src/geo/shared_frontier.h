@@ -1,0 +1,135 @@
+// Shared-frontier batched discovery over a UniformGrid.
+//
+// Per-provider `GridNnCursor`s re-fetch the same cells when nearby
+// providers sweep overlapping neighbourhoods (ROADMAP: "Batched
+// multi-provider relaxation"). The two structures here amortise those cell
+// visits, the grid analogue of the paper's grouped-ANN traversal
+// (Section 3.4.2, rtree/ann_iterator.h):
+//
+//   * `SharedFrontier` serves one *group* of subscribed query points with
+//     exact incremental NN streams from a single cell sweep. Cells expand
+//     on demand in the demanding subscriber's mindist order; each first
+//     expansion is one `cell_fetches` unit and its points are multiplexed
+//     into the candidate heap of every active subscriber that has not been
+//     handed the cell yet (`fanout` counts the deliveries). A subscriber's
+//     walker skips cells it already received, so while subscribers stay
+//     active a cell is fetched at most once per frontier no matter how
+//     many of them need it. (A retired subscriber stops receiving shared
+//     deliveries; if its stream is consumed anyway it stays exact but
+//     re-charges cells the group materialised after it left.)
+//   * `SharedCellSweep` is the re-scannable flavour for relax-style
+//     consumers (the SSPA grid relax re-scans each provider's
+//     neighbourhood on every pop with fresh bounds, so points cannot be
+//     handed out eagerly): every scan walks its own ring order, but a cell
+//     is charged as a fetch only on its first materialisation — later
+//     serves of a resident cell are `fanout` (the sweep keeps swept cells
+//     resident, like a buffer that never evicts the frontier).
+//
+// Soundness of the per-subscriber tail bounds (the core/README.md
+// contract): subscriber q's uncertified candidates all lie in cells q's
+// walker has not served, and every such cell c satisfies
+// MinDist(q, c) >= walker.TailMinDist(); points delivered early sit in
+// q's heap already, so serving the heap top once
+// top.dist <= walker.TailMinDist() never skips a closer unseen point.
+#ifndef CCA_GEO_SHARED_FRONTIER_H_
+#define CCA_GEO_SHARED_FRONTIER_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/grid_cursor.h"
+#include "geo/point.h"
+
+namespace cca {
+
+// Cell-fetch accounting shared by both frontier flavours. `cell_fetches`
+// counts first materialisations (the index-read unit, charged into
+// Metrics::grid_cursor_cells / index_node_accesses by callers);
+// `fanout` counts cell -> subscriber deliveries, so fanout / cell_fetches
+// is the achieved sharing factor (1.0 = no sharing).
+struct SharedFrontierStats {
+  std::uint64_t cell_fetches = 0;
+  std::uint64_t fanout = 0;
+};
+
+// One shared sweep serving exact per-subscriber NN streams. Subscribers
+// are fixed at construction (callers group nearby providers, e.g. by
+// Hilbert order); `Unsubscribe` removes one from future deliveries.
+class SharedFrontier {
+ public:
+  SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries);
+
+  std::size_t num_subscribers() const { return subs_.size(); }
+  bool subscribed(int q) const { return subs_[static_cast<std::size_t>(q)].active; }
+
+  // Stops multiplexing other members' fetches to `q` (provider retired:
+  // capacity exhausted or solver done with its stream). Other members'
+  // streams are unaffected. Calling NextNN/PeekDistance on an
+  // unsubscribed member is still exact — its own demand always delivers
+  // to itself — it just no longer amortises with the group.
+  void Unsubscribe(int q) { subs_[static_cast<std::size_t>(q)].active = false; }
+
+  // Next nearest point of subscriber `q` as (point id, distance), in
+  // non-decreasing distance (ties among fetched candidates in ascending
+  // id, exactly like GridNnCursor), or nullopt when the grid is exhausted.
+  std::optional<std::pair<std::int32_t, double>> NextNN(int q);
+
+  // Distance the next NextNN(q) would return (+infinity when exhausted);
+  // may expand cells to certify, never consumes candidates.
+  double PeekDistance(int q);
+
+  const SharedFrontierStats& stats() const { return stats_; }
+
+ private:
+  struct Subscriber {
+    Point query;
+    GridRingCursor walker;
+    // NnCandidate ordering shared with GridNnCursor: the tie-break must
+    // match for the single-subscriber degeneracy to hold.
+    std::priority_queue<NnCandidate, std::vector<NnCandidate>, NnCandidateFarther> heap;
+    std::vector<char> delivered;  // cell index -> points already in heap
+    bool active = true;
+  };
+
+  // Expands q's sweep until its heap top is certified by its walker's
+  // tail bound (or the grid drains), multiplexing each fetched cell.
+  void Refine(int q);
+
+  const UniformGrid* grid_;
+  std::vector<Subscriber> subs_;
+  SharedFrontierStats stats_;
+};
+
+// Re-scannable shared sweep: one embedded ring cursor (Reset per scan)
+// over a resident-cell set shared by all scans. Mirrors the subset of the
+// GridRingCursor API the SSPA relax loop consumes.
+class SharedCellSweep {
+ public:
+  explicit SharedCellSweep(const UniformGrid& grid);
+
+  // Rewinds onto a new query point (one scan per provider pop).
+  void Reset(const Point& query) { cursor_.Reset(query); }
+
+  double TailMinDist() const { return cursor_.TailMinDist(); }
+  std::size_t points_remaining() const { return cursor_.points_remaining(); }
+
+  // Next non-empty cell in the current scan's ring order; charges a fetch
+  // on first materialisation, a fanout unit on every serve.
+  std::optional<GridRingCursor::CellView> NextCell();
+
+  const SharedFrontierStats& stats() const { return stats_; }
+
+ private:
+  const UniformGrid* grid_;
+  GridRingCursor cursor_;
+  std::vector<char> resident_;
+  SharedFrontierStats stats_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_GEO_SHARED_FRONTIER_H_

@@ -38,39 +38,38 @@ void ExpectBackendsEquivalent(const Problem& problem, const std::string& label) 
   auto db = test::MakeDb(problem);
   const ExactConfig rtree = BackendConfig(DiscoveryBackend::kAuto);  // grouped ANN
   const ExactConfig grid = BackendConfig(DiscoveryBackend::kGrid);
+  const ExactConfig batched = BackendConfig(DiscoveryBackend::kGridBatched);
 
   const ExactResult ida_rtree = SolveIda(problem, db.get(), rtree);
   const ExactResult ida_grid = SolveIda(problem, db.get(), grid);
+  const ExactResult ida_batched = SolveIda(problem, db.get(), batched);
   ExpectCostEqual(problem, ida_rtree, ida_grid, label + " ida");
-  // The grid backend reads the memory-resident point array only.
+  ExpectCostEqual(problem, ida_rtree, ida_batched, label + " ida batched");
+  // The grid backends read the memory-resident point array only.
   EXPECT_EQ(ida_grid.metrics.node_accesses, 0u) << label;
   EXPECT_GT(ida_grid.metrics.grid_cursor_cells, 0u) << label;
   EXPECT_EQ(ida_grid.metrics.index_node_accesses, ida_grid.metrics.grid_cursor_cells) << label;
+  EXPECT_EQ(ida_batched.metrics.node_accesses, 0u) << label;
+  EXPECT_EQ(ida_batched.metrics.grid_cursor_cells,
+            ida_batched.metrics.shared_frontier_cell_fetches)
+      << label;
+  EXPECT_LE(ida_batched.metrics.grid_cursor_cells, ida_grid.metrics.grid_cursor_cells) << label;
 
   const ExactResult nia_rtree = SolveNia(problem, db.get(), rtree);
   const ExactResult nia_grid = SolveNia(problem, db.get(), grid);
+  const ExactResult nia_batched = SolveNia(problem, db.get(), batched);
   ExpectCostEqual(problem, nia_rtree, nia_grid, label + " nia");
+  ExpectCostEqual(problem, nia_rtree, nia_batched, label + " nia batched");
 
   const ExactResult ria_rtree = SolveRia(problem, db.get(), rtree);
   const ExactResult ria_grid = SolveRia(problem, db.get(), grid);
+  const ExactResult ria_batched = SolveRia(problem, db.get(), batched);
   ExpectCostEqual(problem, ria_rtree, ria_grid, label + " ria");
+  ExpectCostEqual(problem, ria_rtree, ria_batched, label + " ria batched");
   EXPECT_EQ(ria_grid.metrics.node_accesses, 0u) << label;
-  // Both backends issue one (annular) range search per provider per batch.
+  // All backends issue one (annular) range search per provider per batch.
   EXPECT_EQ(ria_rtree.metrics.range_searches, ria_grid.metrics.range_searches) << label;
-}
-
-std::vector<Point> SkewedPoints(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Point> pts;
-  pts.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (rng.NextDouble() < 0.9) {
-      pts.push_back(Point{rng.Uniform(0.0, 80.0), rng.Uniform(0.0, 50.0)});
-    } else {
-      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
-    }
-  }
-  return pts;
+  EXPECT_EQ(ria_rtree.metrics.range_searches, ria_batched.metrics.range_searches) << label;
 }
 
 TEST(BackendEquivalence, UniformUnit) {
@@ -103,11 +102,11 @@ TEST(BackendEquivalence, SkewedUnit) {
   for (std::uint64_t seed = 20; seed <= 22; ++seed) {
     Problem problem;
     Rng rng(seed * 5 + 2);
-    for (const auto& pos : SkewedPoints(7, seed * 3 + 1)) {
+    for (const auto& pos : test::SkewedPoints(7, seed * 3 + 1)) {
       problem.providers.push_back(
           Provider{pos, static_cast<std::int32_t>(rng.UniformInt(1, 5))});
     }
-    problem.customers = SkewedPoints(110, seed * 7 + 3);
+    problem.customers = test::SkewedPoints(110, seed * 7 + 3);
     ExpectBackendsEquivalent(problem, "skewed seed " + std::to_string(seed));
   }
 }

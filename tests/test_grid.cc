@@ -173,6 +173,37 @@ TEST(UniformGridTest, AutoTuneLeavesUniformDataAlone) {
   const UniformGrid tuned(pts, 0.0);
   EXPECT_EQ(tuned.cols(), fixed.cols());
   EXPECT_EQ(tuned.rows(), fixed.rows());
+  // Occupancy on target: the tuner never rebuilt.
+  EXPECT_EQ(tuned.build_count(), 1);
+}
+
+TEST(UniformGridTest, AutoTuneRebuildCountsOneRebuild) {
+  // The skewed instance from AutoTuneRefinesSkewedOccupancy retunes
+  // exactly once: measure pass plus one finer rebuild.
+  Rng rng(31);
+  std::vector<Point> pts;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.NextDouble() < 0.9) {
+      pts.push_back(Point{rng.Uniform(0.0, 60.0), rng.Uniform(0.0, 40.0)});
+    } else {
+      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+    }
+  }
+  const UniformGrid tuned(pts, 0.0);
+  EXPECT_EQ(tuned.build_count(), 2);
+}
+
+TEST(UniformGridTest, AutoTuneSkipsNoOpRebuild) {
+  // Co-located points trip the occupancy trigger (everything in one cell)
+  // but the tuned target resolves to the same degenerate 1x1 resolution —
+  // the rebuild would reproduce the grid bit for bit, so it is skipped.
+  const std::vector<Point> pts(16, Point{42.0, 17.0});
+  const UniformGrid tuned(pts, 0.0);
+  EXPECT_GT(tuned.MeanOccupancy(), 1.5 * UniformGrid::kDefaultTargetPerCell);
+  EXPECT_EQ(tuned.cols(), 1);
+  EXPECT_EQ(tuned.rows(), 1);
+  EXPECT_EQ(tuned.build_count(), 1);
+  EXPECT_EQ(tuned.Cell(0, 0).count, pts.size());
 }
 
 }  // namespace

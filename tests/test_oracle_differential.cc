@@ -1,0 +1,131 @@
+// Randomized differential suite: RIA/NIA/IDA (rotating through every
+// discovery backend) and SSPA (grid + dense) are diffed against the
+// independent Hungarian oracle (src/flow/hungarian.cc) on ~50 seeded
+// random instances spanning uniform/clustered/skewed point sets and
+// unit/weighted customers, |P| <= 64. This replaces reliance on
+// hand-built small cases: the oracle is a matrix-style solver that shares
+// no code with the incremental flow engine, the spatial indexes, or the
+// potential bookkeeping, so any cost drift in the solver stack trips it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/matching.h"
+#include "flow/hungarian.h"
+#include "flow/sspa.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+enum class Dist { kUniform, kClustered, kSkewed };
+
+std::vector<Point> MakePoints(Dist dist, std::size_t n, std::uint64_t seed) {
+  switch (dist) {
+    case Dist::kUniform:
+      return test::RandomPoints(n, seed);
+    case Dist::kClustered:
+      return test::ClusteredPoints(n, seed, /*clusters=*/3, /*sigma=*/60.0);
+    case Dist::kSkewed:
+      return test::SkewedPoints(n, seed);
+  }
+  return {};
+}
+
+Problem MakeInstance(Dist dist, bool weighted, std::uint64_t seed) {
+  Rng rng(seed * 97 + 11);
+  Problem problem;
+  const std::size_t nq = 3 + rng.NextBelow(6);   // 3..8 providers
+  const std::size_t np = 20 + rng.NextBelow(45); // 20..64 customers
+  for (const auto& pos : MakePoints(dist, nq, seed * 31 + 5)) {
+    problem.providers.push_back(
+        Provider{pos, static_cast<std::int32_t>(rng.UniformInt(1, 6))});
+  }
+  problem.customers = MakePoints(dist, np, seed * 57 + 7);
+  if (weighted) {
+    problem.weights.resize(np);
+    for (auto& w : problem.weights) w = static_cast<std::int32_t>(rng.UniformInt(1, 3));
+  }
+  return problem;
+}
+
+// The Hungarian baseline requires unit customer weights; a weighted
+// customer of weight w is exactly w co-located unit customers (each unit
+// of demand may be served by a different provider), so the expansion
+// preserves the optimal cost.
+Problem UnitExpanded(const Problem& problem) {
+  if (problem.weights.empty()) return problem;
+  Problem expanded;
+  expanded.providers = problem.providers;
+  for (std::size_t p = 0; p < problem.customers.size(); ++p) {
+    for (std::int32_t u = 0; u < problem.weights[p]; ++u) {
+      expanded.customers.push_back(problem.customers[p]);
+    }
+  }
+  return expanded;
+}
+
+const char* DistName(Dist dist) {
+  switch (dist) {
+    case Dist::kUniform:
+      return "uniform";
+    case Dist::kClustered:
+      return "clustered";
+    case Dist::kSkewed:
+      return "skewed";
+  }
+  return "?";
+}
+
+TEST(OracleDifferential, SolversMatchHungarianOnRandomInstances) {
+  // Rotate the discovery backend across instances so every backend faces
+  // every distribution/weight combination at least once.
+  const DiscoveryBackend backends[] = {DiscoveryBackend::kRTreePlain,
+                                       DiscoveryBackend::kRTreeGrouped, DiscoveryBackend::kGrid,
+                                       DiscoveryBackend::kGridBatched};
+  std::size_t case_index = 0;
+  for (const Dist dist : {Dist::kUniform, Dist::kClustered, Dist::kSkewed}) {
+    for (const bool weighted : {false, true}) {
+      for (std::uint64_t seed = 1; seed <= 9; ++seed, ++case_index) {
+        const Problem problem = MakeInstance(dist, weighted, seed * 13 + case_index);
+        const std::string label = std::string(DistName(dist)) +
+                                  (weighted ? " weighted" : " unit") + " seed " +
+                                  std::to_string(seed);
+
+        const HungarianResult oracle = SolveHungarian(UnitExpanded(problem));
+        const double tol = 1e-6 * std::max(1.0, oracle.matching.cost());
+
+        auto db = test::MakeDb(problem);
+        ExactConfig config;
+        config.discovery_backend = backends[case_index % 4];
+
+        const ExactResult ria = SolveRia(problem, db.get(), config);
+        const ExactResult nia = SolveNia(problem, db.get(), config);
+        const ExactResult ida = SolveIda(problem, db.get(), config);
+        SspaConfig sspa_config;
+        sspa_config.use_grid = case_index % 2 == 0;
+        sspa_config.use_shared_frontier = case_index % 4 == 2;
+        const SspaResult sspa = SolveSspa(problem, sspa_config);
+
+        std::string error;
+        EXPECT_TRUE(ValidateMatching(problem, ria.matching, &error)) << label << ": " << error;
+        EXPECT_TRUE(ValidateMatching(problem, nia.matching, &error)) << label << ": " << error;
+        EXPECT_TRUE(ValidateMatching(problem, ida.matching, &error)) << label << ": " << error;
+        EXPECT_TRUE(ValidateMatching(problem, sspa.matching, &error)) << label << ": " << error;
+        EXPECT_NEAR(ria.matching.cost(), oracle.matching.cost(), tol) << label << " ria";
+        EXPECT_NEAR(nia.matching.cost(), oracle.matching.cost(), tol) << label << " nia";
+        EXPECT_NEAR(ida.matching.cost(), oracle.matching.cost(), tol) << label << " ida";
+        EXPECT_NEAR(sspa.matching.cost(), oracle.matching.cost(), tol) << label << " sspa";
+        EXPECT_EQ(ria.matching.size(), oracle.matching.size()) << label;
+        EXPECT_EQ(sspa.matching.size(), oracle.matching.size()) << label;
+      }
+    }
+  }
+  EXPECT_EQ(case_index, 54u);  // 3 distributions x {unit, weighted} x 9 seeds
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,283 @@
+// Shared-frontier batched discovery (geo/shared_frontier.h and the
+// grid-batched NnSource backend): per-subscriber streams must stay exact
+// incremental NN streams while cells are fetched once per group, across
+// the edge cases the per-cursor backends never hit — empty subscriber
+// sets, mid-stream retirement, duplicate/co-located points — plus the
+// fetch-amortisation regression guard at |Q|=100, |P|=10k.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/matching.h"
+#include "core/nn_source.h"
+#include "flow/sspa.h"
+#include "geo/grid_cursor.h"
+#include "geo/shared_frontier.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+// Full expected stream of (oid, dist) for one query, ascending (dist, oid).
+std::vector<std::pair<std::int32_t, double>> BruteForceStream(const std::vector<Point>& pts,
+                                                              const Point& q) {
+  std::vector<std::pair<std::int32_t, double>> hits;
+  hits.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    hits.emplace_back(static_cast<std::int32_t>(i), Distance(q, pts[i]));
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  return hits;
+}
+
+TEST(SharedFrontierTest, SingleSubscriberDegeneratesToGridNnCursor) {
+  const auto pts = test::RandomPoints(500, 41);
+  const UniformGrid grid(pts, 32.0);
+  for (const Point& q : {Point{500, 500}, Point{0, 0}, Point{1200, -40}}) {
+    SharedFrontier frontier(grid, {q});
+    GridNnCursor cursor(grid, q);
+    std::size_t served = 0;
+    while (true) {
+      const auto from_frontier = frontier.NextNN(0);
+      const auto from_cursor = cursor.Next();
+      ASSERT_EQ(from_frontier.has_value(), from_cursor.has_value());
+      if (!from_frontier) break;
+      // Identical hit order, not merely identical distances.
+      ASSERT_EQ(from_frontier->first, from_cursor->first) << "hit " << served;
+      ASSERT_DOUBLE_EQ(from_frontier->second, from_cursor->second) << "hit " << served;
+      ++served;
+    }
+    EXPECT_EQ(served, pts.size());
+    // A lone subscriber shares with nobody: every fetch is delivered once,
+    // and the fetch count matches the private cursor exactly.
+    EXPECT_EQ(frontier.stats().cell_fetches, cursor.cells_visited());
+    EXPECT_EQ(frontier.stats().fanout, frontier.stats().cell_fetches);
+  }
+}
+
+TEST(SharedFrontierTest, MultiSubscriberStreamsAreExactAndShareFetches) {
+  const auto pts = test::RandomPoints(400, 43);
+  const UniformGrid grid(pts, 64.0);
+  // A tight clump of subscribers (the Hilbert-group case) plus one far.
+  const std::vector<Point> queries{{480, 510}, {505, 505}, {520, 490}, {40, 960}};
+  SharedFrontier frontier(grid, queries);
+  std::uint64_t solo_fetches = 0;
+  for (std::size_t s = 0; s < queries.size(); ++s) {
+    const auto expect = BruteForceStream(pts, queries[s]);
+    double prev = -1.0;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_DOUBLE_EQ(frontier.PeekDistance(static_cast<int>(s)), expect[i].second);
+      const auto hit = frontier.NextNN(static_cast<int>(s));
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_DOUBLE_EQ(hit->second, expect[i].second) << "subscriber " << s << " hit " << i;
+      EXPECT_GE(hit->second, prev);
+      prev = hit->second;
+    }
+    EXPECT_FALSE(frontier.NextNN(static_cast<int>(s)).has_value());
+    GridNnCursor solo(grid, queries[s]);
+    while (solo.Next()) {
+    }
+    solo_fetches += solo.cells_visited();
+  }
+  // Full drains touch every cell once per subscriber when solo; the shared
+  // frontier fetches each cell exactly once.
+  EXPECT_LT(frontier.stats().cell_fetches, solo_fetches);
+  EXPECT_GT(frontier.stats().fanout, frontier.stats().cell_fetches);
+}
+
+TEST(SharedFrontierTest, EmptySubscriberSetIsInert) {
+  const auto pts = test::RandomPoints(50, 47);
+  const UniformGrid grid(pts, 8.0);
+  SharedFrontier frontier(grid, {});
+  EXPECT_EQ(frontier.num_subscribers(), 0u);
+  EXPECT_EQ(frontier.stats().cell_fetches, 0u);
+  EXPECT_EQ(frontier.stats().fanout, 0u);
+}
+
+TEST(SharedFrontierTest, EmptyProviderSetBuildsThroughFactory) {
+  Problem problem;
+  problem.customers = test::RandomPoints(60, 53);
+  auto db = test::MakeDb(problem);
+  ExactConfig config;
+  config.discovery_backend = DiscoveryBackend::kGridBatched;
+  Metrics metrics;
+  auto source = MakeNnSource(db.get(), problem, config, &metrics);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(metrics.shared_frontier_cell_fetches, 0u);
+}
+
+TEST(SharedFrontierTest, DuplicateAndColocatedPointsServedOncePerSubscriber) {
+  // Three stacked duplicates plus co-located pairs inside one cell.
+  std::vector<Point> pts{{10, 10}, {10, 10}, {10, 10}, {12, 11}, {12, 11},
+                         {40, 40}, {40, 45}, {90, 15}, {15, 90}, {60, 60}};
+  const UniformGrid grid(pts, 4.0);
+  const std::vector<Point> queries{{10, 10}, {85, 80}};
+  SharedFrontier frontier(grid, queries);
+  for (std::size_t s = 0; s < queries.size(); ++s) {
+    const auto expect = BruteForceStream(pts, queries[s]);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      const auto hit = frontier.NextNN(static_cast<int>(s));
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_DOUBLE_EQ(hit->second, expect[i].second);
+      // Co-located points land in one cell, so equal-distance candidates
+      // are all heap-resident together and tie-break on ascending id.
+      EXPECT_EQ(hit->first, expect[i].first) << "subscriber " << s << " hit " << i;
+    }
+    EXPECT_FALSE(frontier.NextNN(static_cast<int>(s)).has_value());
+  }
+}
+
+TEST(SharedFrontierTest, UnsubscribedMemberStopsReceivingDeliveries) {
+  const auto pts = test::RandomPoints(300, 59);
+  const UniformGrid grid(pts, 32.0);
+  SharedFrontier frontier(grid, {Point{200, 200}, Point{210, 190}});
+  frontier.Unsubscribe(1);
+  const auto expect = BruteForceStream(pts, Point{200, 200});
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const auto hit = frontier.NextNN(0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->second, expect[i].second);
+  }
+  EXPECT_FALSE(frontier.subscribed(1));
+  // Every fetch delivered to subscriber 0 alone.
+  EXPECT_EQ(frontier.stats().fanout, frontier.stats().cell_fetches);
+}
+
+TEST(SharedFrontierTest, MidStreamUnsubscribeKeepsRemainingStreamsExact) {
+  const auto pts = test::RandomPoints(300, 61);
+  const UniformGrid grid(pts, 32.0);
+  SharedFrontier frontier(grid, {Point{500, 480}, Point{520, 500}});
+  const auto expect0 = BruteForceStream(pts, Point{500, 480});
+  const auto expect1 = BruteForceStream(pts, Point{520, 500});
+  // Interleave a while, retire subscriber 1 (capacity exhausted), then
+  // finish subscriber 0: its stream must not miss or reorder anything.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(frontier.NextNN(0)->second, expect0[i].second);
+    EXPECT_DOUBLE_EQ(frontier.NextNN(1)->second, expect1[i].second);
+  }
+  frontier.Unsubscribe(1);
+  for (std::size_t i = 20; i < expect0.size(); ++i) {
+    const auto hit = frontier.NextNN(0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->second, expect0[i].second) << "hit " << i;
+  }
+  EXPECT_FALSE(frontier.NextNN(0).has_value());
+  // A retired member's own stream stays exact if consumed anyway — it
+  // just no longer amortises with the group.
+  for (std::size_t i = 20; i < expect1.size(); ++i) {
+    const auto hit = frontier.NextNN(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(hit->second, expect1[i].second) << "retired hit " << i;
+  }
+  EXPECT_FALSE(frontier.NextNN(1).has_value());
+}
+
+TEST(SharedCellSweepTest, ResidentCellsChargeOnlyOnce) {
+  const auto pts = test::RandomPoints(200, 67);
+  const UniformGrid grid(pts, 8.0);
+  SharedCellSweep sweep(grid);
+  sweep.Reset(Point{300, 300});
+  std::size_t served_first = 0;
+  while (sweep.NextCell()) ++served_first;
+  const std::uint64_t fetches_first = sweep.stats().cell_fetches;
+  EXPECT_EQ(fetches_first, served_first);  // cold sweep: every serve is a fetch
+  // Second scan from a nearby query: same cells, all resident.
+  sweep.Reset(Point{310, 295});
+  std::size_t served_second = 0;
+  while (sweep.NextCell()) ++served_second;
+  EXPECT_EQ(sweep.stats().cell_fetches, fetches_first);
+  EXPECT_EQ(sweep.stats().fanout, served_first + served_second);
+}
+
+// Greedy retires providers as their capacity saturates — the end-to-end
+// exercise of NnSource::Retire on the batched backend.
+TEST(SharedFrontierBackend, GreedyRetiresProvidersAndMatchesGridBackend) {
+  test::InstanceSpec spec;
+  spec.nq = 10;
+  spec.np = 200;
+  spec.k_lo = 2;
+  spec.k_hi = 5;
+  spec.seed = 71;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  ExactConfig grid;
+  grid.discovery_backend = DiscoveryBackend::kGrid;
+  ExactConfig batched;
+  batched.discovery_backend = DiscoveryBackend::kGridBatched;
+  const double g = SolveGreedySm(problem, db.get(), grid).matching.cost();
+  const double b = SolveGreedySm(problem, db.get(), batched).matching.cost();
+  EXPECT_NEAR(g, b, 1e-9);
+}
+
+// SSPA on the shared sweep: identical relax trajectory (same cells in the
+// same order), identical matchings — only the cell-fetch ledger shrinks.
+TEST(SharedFrontierBackend, SspaSharedSweepMatchesPrivateCursor) {
+  for (const bool weighted : {false, true}) {
+    test::InstanceSpec spec;
+    spec.nq = 12;
+    spec.np = 400;
+    spec.k_lo = 2;
+    spec.k_hi = 8;
+    spec.seed = weighted ? 73u : 79u;
+    Problem problem = test::RandomProblem(spec);
+    if (weighted) {
+      Rng rng(5);
+      problem.weights.resize(problem.customers.size());
+      for (auto& w : problem.weights) w = static_cast<std::int32_t>(rng.UniformInt(1, 3));
+    }
+    SspaConfig plain;
+    SspaConfig shared = plain;
+    shared.use_shared_frontier = true;
+    const SspaResult a = SolveSspa(problem, plain);
+    const SspaResult b = SolveSspa(problem, shared);
+    EXPECT_NEAR(a.matching.cost(), b.matching.cost(), 1e-6);
+    EXPECT_EQ(a.metrics.dijkstra_relaxes, b.metrics.dijkstra_relaxes);
+    EXPECT_EQ(a.metrics.grid_rings_scanned, b.metrics.grid_rings_scanned);
+    EXPECT_LE(b.metrics.grid_cursor_cells, a.metrics.grid_cursor_cells);
+    EXPECT_EQ(b.metrics.shared_frontier_fanout, a.metrics.grid_cursor_cells);
+    EXPECT_GT(b.metrics.shared_frontier_cell_fetches, 0u);
+  }
+}
+
+// The acceptance-bar regression guard: at |Q|=100, |P|=10k the batched
+// frontier must fetch at most half the cells the per-provider cursors
+// fetch, with a cost-identical matching.
+TEST(SharedFrontierBackend, HalvesCellFetchesAtHundredProvidersTenThousandCustomers) {
+  test::InstanceSpec spec;
+  spec.nq = 100;
+  spec.np = 10000;
+  spec.k_lo = 10;
+  spec.k_hi = 10;
+  spec.seed = 123;
+  const Problem problem = test::RandomProblem(spec);
+  auto db = test::MakeDb(problem);
+  ExactConfig grid;
+  grid.discovery_backend = DiscoveryBackend::kGrid;
+  ExactConfig batched;
+  batched.discovery_backend = DiscoveryBackend::kGridBatched;
+
+  const ExactResult per_cursor = SolveIda(problem, db.get(), grid);
+  const ExactResult shared = SolveIda(problem, db.get(), batched);
+  EXPECT_NEAR(per_cursor.matching.cost(), shared.matching.cost(),
+              1e-6 * std::max(1.0, per_cursor.matching.cost()));
+  EXPECT_GT(shared.metrics.shared_frontier_cell_fetches, 0u);
+  EXPECT_LE(shared.metrics.shared_frontier_cell_fetches * 2,
+            per_cursor.metrics.grid_cursor_cells)
+      << "shared fetches=" << shared.metrics.shared_frontier_cell_fetches
+      << " per-cursor cells=" << per_cursor.metrics.grid_cursor_cells;
+  // The batched ledger stays consistent: every charged cell is a fetch,
+  // and sharing delivered each fetch to more than one subscriber overall.
+  EXPECT_EQ(shared.metrics.grid_cursor_cells, shared.metrics.shared_frontier_cell_fetches);
+  EXPECT_EQ(shared.metrics.index_node_accesses, shared.metrics.shared_frontier_cell_fetches);
+  EXPECT_GT(shared.metrics.shared_frontier_fanout, shared.metrics.shared_frontier_cell_fetches);
+}
+
+}  // namespace
+}  // namespace cca

@@ -49,32 +49,16 @@ void ExpectEquivalent(const Problem& problem, const std::string& label) {
   EXPECT_EQ(grid.metrics.augmentations, dense.metrics.augmentations) << label;
 }
 
-// Skewed point cloud: most mass crammed into one corner strip, a few
-// far-flung outliers (exercises very uneven grid occupancy).
-std::vector<Point> SkewedPoints(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Point> pts;
-  pts.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (rng.NextDouble() < 0.9) {
-      pts.push_back(Point{rng.Uniform(0.0, 80.0), rng.Uniform(0.0, 50.0)});
-    } else {
-      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
-    }
-  }
-  return pts;
-}
-
 Problem SkewedProblem(std::size_t nq, std::size_t np, std::int32_t k_lo, std::int32_t k_hi,
                       std::uint64_t seed) {
   Problem problem;
-  const auto q_pts = SkewedPoints(nq, seed * 3 + 1);
+  const auto q_pts = test::SkewedPoints(nq, seed * 3 + 1);
   Rng rng(seed * 5 + 2);
   for (const auto& pos : q_pts) {
     problem.providers.push_back(
         Provider{pos, static_cast<std::int32_t>(rng.UniformInt(k_lo, k_hi))});
   }
-  problem.customers = SkewedPoints(np, seed * 7 + 3);
+  problem.customers = test::SkewedPoints(np, seed * 7 + 3);
   return problem;
 }
 

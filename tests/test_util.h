@@ -52,6 +52,24 @@ inline std::vector<Point> ClusteredPoints(std::size_t n, std::uint64_t seed, int
   return pts;
 }
 
+// Skewed points: 90% of the mass packed into a small hot rectangle at the
+// origin, the rest uniform across the world (exercises the grid
+// auto-tuner and non-uniform cell occupancy).
+inline std::vector<Point> SkewedPoints(std::size_t n, std::uint64_t seed, double hot_w = 80.0,
+                                       double hot_h = 50.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.9) {
+      pts.push_back(Point{rng.Uniform(0.0, hot_w), rng.Uniform(0.0, hot_h)});
+    } else {
+      pts.push_back(Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+    }
+  }
+  return pts;
+}
+
 struct InstanceSpec {
   std::size_t nq = 4;
   std::size_t np = 30;

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
 """Diff a freshly produced BENCH_*.json against a committed baseline.
 
-Usage: bench_diff.py NEW.json BASELINE.json [--relax-slack FRAC]
+Usage: bench_diff.py NEW.json BASELINE.json [--relax-slack FRAC] [--cost-tol FRAC]
+
+CI runs this over BENCH_sspa.json (bench_micro_flow) and the fig10/fig11
+trajectories (bench_fig10_providers / bench_fig11_customers), each against
+the baseline committed at the repo root.
 
 Rows are matched on their identifying keys (n_q/n_p/k/mode for
 bench_micro_flow output, setting/algo for the figure benches); rows present
 in only one file are ignored (CI runs a size-capped subset of the committed
 baseline). For every matched pair the check fails when
 
-  * the matching cost differs by more than 1e-6 relative (the solvers are
-    exact: any cost drift is a correctness bug), or
+  * the matching cost differs by more than --cost-tol relative (default
+    1e-6: the solvers are exact, so any cost drift beyond float noise is a
+    correctness bug -- loosen only for approximate-solver rows), or
   * a deterministic work counter (relaxes, pops, node accesses, cursor
-    cells) regresses by more than --relax-slack (default 10%) over the
-    baseline.
+    cells, shared-frontier fetches) regresses by more than --relax-slack
+    (default 0.10, i.e. 10% growth) over the baseline. Counters are exact
+    re-runs of deterministic code, so the slack only absorbs intentional
+    small drifts; raise it in CI alongside a justifying comment when a PR
+    deliberately trades one counter for another.
 
 Timing fields are reported but never gated: wall clock is machine-
 dependent, the work counters are not.
@@ -27,6 +35,7 @@ COUNTER_KEYS = (
     "pops",
     "grid_rings_scanned",
     "grid_cursor_cells",
+    "shared_frontier_cell_fetches",
     "esub",
     "node_accesses",
     "index_node_accesses",
@@ -44,6 +53,8 @@ def main():
     parser.add_argument("baseline_json")
     parser.add_argument("--relax-slack", type=float, default=0.10,
                         help="allowed fractional counter growth over baseline")
+    parser.add_argument("--cost-tol", type=float, default=1e-6,
+                        help="allowed relative matching-cost drift")
     args = parser.parse_args()
 
     with open(args.new_json) as f:
@@ -62,7 +73,7 @@ def main():
         new, base = new_rows[key], base_rows[key]
         label = " ".join(f"{k}={v}" for k, v in key)
         if "cost" in new and "cost" in base:
-            tol = 1e-6 * max(1.0, abs(base["cost"]))
+            tol = args.cost_tol * max(1.0, abs(base["cost"]))
             if abs(new["cost"] - base["cost"]) > tol:
                 failures.append(
                     f"{label}: cost {new['cost']} != baseline {base['cost']}")
