@@ -6,8 +6,10 @@
 //
 // Prints a human-readable table and writes a machine-readable
 // `BENCH_sspa.json` (array of runs: n_q, n_p, k, mode, relaxes, pruned,
-// pops, rings, cells, millis, cost) so successive PRs can track the perf
-// trajectory. Usage:
+// distances_computed, cells_pruned, pops, rings, cells, millis, cost) so
+// successive PRs can track the perf trajectory — CI gates the
+// distances_computed column via tools/bench_diff.py so the relax scan's
+// quadratic distance term cannot silently regress. Usage:
 //
 //   bench_micro_flow [--out BENCH_sspa.json] [--max-np N] [--dense-max-np N]
 //
@@ -48,13 +50,15 @@ struct Run {
 };
 
 void PrintRow(const Run& r) {
-  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %10llu %10llu %10.1f %12.1f\n", r.nq,
-              r.np, r.k, r.mode,
+  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %12llu %10llu %10llu %10llu %10.1f %12.1f\n",
+              r.nq, r.np, r.k, r.mode,
               static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
               static_cast<unsigned long long>(r.result.metrics.relaxes_pruned),
+              static_cast<unsigned long long>(r.result.metrics.distances_computed),
               static_cast<unsigned long long>(r.result.metrics.dijkstra_pops),
               static_cast<unsigned long long>(r.result.metrics.grid_rings_scanned),
               static_cast<unsigned long long>(r.result.metrics.grid_cursor_cells),
+              static_cast<unsigned long long>(r.result.metrics.cells_pruned),
               r.result.metrics.cpu_millis, r.result.matching.cost());
   std::fflush(stdout);
 }
@@ -71,13 +75,16 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
     const auto& m = r.result.metrics;
     std::fprintf(f,
                  "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
-                 "\"relaxes\": %llu, \"relaxes_pruned\": %llu, \"pops\": %llu, "
+                 "\"relaxes\": %llu, \"relaxes_pruned\": %llu, "
+                 "\"distances_computed\": %llu, \"cells_pruned\": %llu, \"pops\": %llu, "
                  "\"grid_rings_scanned\": %llu, \"grid_cursor_cells\": %llu, "
                  "\"shared_frontier_cell_fetches\": %llu, \"shared_frontier_fanout\": %llu, "
                  "\"augmentations\": %llu, "
                  "\"millis\": %.3f, \"cost\": %.3f}%s\n",
                  r.nq, r.np, r.k, r.mode, static_cast<unsigned long long>(m.dijkstra_relaxes),
                  static_cast<unsigned long long>(m.relaxes_pruned),
+                 static_cast<unsigned long long>(m.distances_computed),
+                 static_cast<unsigned long long>(m.cells_pruned),
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.grid_rings_scanned),
                  static_cast<unsigned long long>(m.grid_cursor_cells),
@@ -127,8 +134,9 @@ int main(int argc, char** argv) {
       {50, 5000, 40}, {100, 10000, 40}, {100, 20000, 80},
   };
 
-  std::printf("%6s %8s %4s %-6s %14s %14s %12s %10s %10s %10s %12s\n", "nq", "np", "k", "mode",
-              "relaxes", "pruned", "pops", "rings", "cells", "millis", "cost");
+  std::printf("%6s %8s %4s %-6s %14s %14s %12s %12s %10s %10s %10s %10s %12s\n", "nq", "np", "k",
+              "mode", "relaxes", "pruned", "distances", "pops", "rings", "cells", "cellspr",
+              "millis", "cost");
   std::vector<Run> runs;
   for (const Shape& s : shapes) {
     if (s.np > max_np) continue;

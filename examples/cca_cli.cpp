@@ -5,11 +5,14 @@
 // Usage:
 //   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
-//           [--seed S] [--no-pua] [--no-ann] [--dense]
+//           [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]
 //           [--backend auto|rtree|ann|grid|grid-batched]
 //
 // --dense switches SSPA to the literal every-customer relax scan (the
 // grid-pruned relax is the default); use it for A/B comparisons.
+// --no-cell-floors disables SSPA's per-cell tau floors and the fused
+// early-reject distance kernel (SspaConfig::use_cell_floors), falling back
+// to the legacy global-floor pruning — the second A/B axis.
 // --backend selects the candidate-discovery backend of the exact solvers:
 // independent R-tree NN iterators, the grouped ANN traversal, grid ring
 // cursors over the memory-resident customer array, or the batched shared
@@ -45,6 +48,7 @@ struct Args {
   bool use_pua = true;
   bool use_ann = true;
   bool dense_sspa = false;
+  bool cell_floors = true;
   std::string backend = "auto";
 };
 
@@ -82,6 +86,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->use_ann = false;
     } else if (flag == "--dense") {
       args->dense_sspa = true;
+    } else if (flag == "--no-cell-floors") {
+      args->cell_floors = false;
     } else if (flag == "--backend") {
       args->backend = next();
     } else if (flag == "--help" || flag == "-h") {
@@ -103,7 +109,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
-                 "               [--seed S] [--no-pua] [--no-ann] [--dense]\n"
+                 "               [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]\n"
                  "               [--backend auto|rtree|ann|grid|grid-batched]\n");
     return 2;
   }
@@ -163,6 +169,7 @@ int main(int argc, char** argv) {
     }
     SspaConfig config;
     config.use_grid = !args.dense_sspa;
+    config.use_cell_floors = args.cell_floors;
     config.use_shared_frontier = args.backend == "grid-batched";
     SspaResult r = SolveSspa(problem, config);
     matching = std::move(r.matching);

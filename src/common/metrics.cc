@@ -15,6 +15,8 @@ void Metrics::Accumulate(const Metrics& other) {
   fast_path_assigns += other.fast_path_assigns;
   grid_rings_scanned += other.grid_rings_scanned;
   relaxes_pruned += other.relaxes_pruned;
+  distances_computed += other.distances_computed;
+  cells_pruned += other.cells_pruned;
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;

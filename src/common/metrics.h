@@ -33,6 +33,16 @@ struct Metrics {
   std::uint64_t fast_path_assigns = 0; // Theorem-2 direct assignments
   std::uint64_t grid_rings_scanned = 0;  // grid rings visited by pruned SSPA
   std::uint64_t relaxes_pruned = 0;    // relaxations skipped by ring/cell/upper bounds
+  // Exact (sqrt) distances materialised by the SSPA relax kernels: every
+  // lane of a DistanceBlock call plus the surviving lanes of a
+  // DistanceBlockSelect call (rejected lanes stop at the squared compare
+  // and are counted in relaxes_pruned instead). This is the quadratic term
+  // the cell-level pruning exists to kill; CI gates it via bench_diff.py.
+  std::uint64_t distances_computed = 0;
+  // Whole cells skipped by the per-cell reduced-cost bound
+  // (mindist + per-cell tau floor), the cell-granular counterpart of
+  // relaxes_pruned.
+  std::uint64_t cells_pruned = 0;
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served

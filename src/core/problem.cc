@@ -25,6 +25,41 @@ void DistanceBlock(const Point& q, const double* xs, const double* ys, std::size
   }
 }
 
+std::size_t DistanceBlockSelect(const Point& q, const double* xs, const double* ys,
+                                const double* taus, std::size_t n, double cutoff,
+                                std::int32_t* idx, double* d2_out) {
+  // Pass 1 (SIMD): squared distances and squared per-lane thresholds. No
+  // branches, no sqrt — multiply/add over contiguous arrays, which is what
+  // the vectorization smoke check (tools/check_vectorization.py) pins.
+  double d2[kDistanceBlock];
+  double r2[kDistanceBlock];
+  const double qx = q.x;
+  const double qy = q.y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - qx;
+    const double dy = ys[i] - qy;
+    d2[i] = dx * dx + dy * dy;
+    // Signed square r*|r| instead of clamp-then-square: a non-positive
+    // threshold yields r2 <= 0, which the strict d2 < r2 compare rejects
+    // (d2 >= 0) — same semantics as clamping, but branchless, so the loop
+    // if-converts and vectorizes (a ternary clamp here defeats GCC's
+    // if-conversion and de-vectorizes the whole pass).
+    const double r = cutoff - taus[i];
+    r2[i] = r * std::fabs(r);
+  }
+  // Pass 2 (scalar): compact the surviving lanes' squared distances. The
+  // sqrt stays with the caller, behind its exact current-bound recheck.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d2[i] < r2[i]) {
+      idx[kept] = static_cast<std::int32_t>(i);
+      d2_out[kept] = d2[i];
+      ++kept;
+    }
+  }
+  return kept;
+}
+
 std::int64_t Problem::TotalCapacity() const {
   std::int64_t total = 0;
   for (const auto& q : providers) total += q.capacity;

@@ -39,6 +39,25 @@ inline constexpr std::size_t kDistanceBlock = 256;
 void DistanceBlock(const Point& q, const double* xs, const double* ys, std::size_t n,
                    double* out);
 
+// Fused distance + early-reject kernel (the SSPA relax hot path; contract
+// documented in src/core/README.md). Lane i survives iff
+//
+//   dist(q, (xs[i], ys[i])) < cutoff - taus[i]
+//
+// evaluated entirely in *squared* space: the SIMD pass compares
+// dx^2 + dy^2 against the signed square of cutoff - taus[i], so a
+// non-positive per-lane threshold rejects for free (squared distances are
+// >= 0 and the compare is strict). Surviving lane indices are compacted
+// into idx[0..kept) (ascending), their *squared* distances into
+// d2_out[0..kept), and `kept` is returned. No lane ever pays a sqrt here:
+// the caller roots a survivor only after its own exact recheck against the
+// current (not block-start) bound, so survivors doomed by a bound that
+// tightened mid-block stay sqrt-free too. Requires n <= kDistanceBlock
+// (callers chunk).
+std::size_t DistanceBlockSelect(const Point& q, const double* xs, const double* ys,
+                                const double* taus, std::size_t n, double cutoff,
+                                std::int32_t* idx, double* d2_out);
+
 // A CCA instance. Customers optionally carry integer weights: the exact
 // problem uses unit weights, while the CA approximation (paper Section 4.2)
 // solves a concise instance whose "customers" are group representatives

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -44,9 +45,16 @@ class SspaSolver {
         alpha_(nq_ + np_ + 1, kInf),
         prev_(nq_ + np_ + 1, -1),
         heap_(nq_ + np_ + 1) {
-    if (config_.use_grid && np_ > 0) {
+    // The grid serves two masters: ring-ordered discovery (use_grid) and
+    // the per-cell tau floors (use_cell_floors — which the dense fallback
+    // also uses to partition its scan). Legacy dense (both off) stays
+    // index-free.
+    if ((config_.use_grid || config_.use_cell_floors) && np_ > 0) {
       grid_ = std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
-      if (config_.use_shared_frontier) {
+      if (config_.use_cell_floors) tau_floors_ = std::make_unique<CellTauTable>(*grid_);
+    }
+    if (config_.use_grid && np_ > 0) {
+      if (config_.use_shared_frontier && np_ >= config_.shared_frontier_min_customers) {
         shared_sweep_ = std::make_unique<SharedCellSweep>(*grid_);
       } else {
         relax_cursor_ = std::make_unique<GridRingCursor>(*grid_, Point{});
@@ -88,9 +96,17 @@ class SspaSolver {
     if (grid_) {
       // Floor of tau(p) over every customer: together with a ring's
       // geometric mindist it lower-bounds the reduced cost of all edges
-      // into the ring. Recomputed per run (potentials moved since).
-      min_tau_p_ = 0.0;
-      if (np_ > 0) min_tau_p_ = *std::min_element(tau_p_.begin(), tau_p_.end());
+      // into the ring. The cell-floor table keeps it current across
+      // augmentations (only touched cells were updated, and the cached
+      // global min rescans cell floors only when displaced); the legacy
+      // path rescans all of tau_p instead.
+      if (tau_floors_) {
+        min_tau_p_ = tau_floors_->GlobalFloor();
+        assert(np_ == 0 || min_tau_p_ == *std::min_element(tau_p_.begin(), tau_p_.end()));
+      } else {
+        min_tau_p_ = 0.0;
+        if (np_ > 0) min_tau_p_ = *std::min_element(tau_p_.begin(), tau_p_.end());
+      }
     }
     for (std::size_t q = 0; q < nq_; ++q) {
       if (used_q_[q] < problem_.providers[q].capacity) {
@@ -105,7 +121,7 @@ class SspaSolver {
       if (u == Sink()) return key;
       touched_.push_back(u);
       if (static_cast<std::size_t>(u) < nq_) {
-        if (grid_) {
+        if (config_.use_grid && grid_) {
           RelaxProviderGrid(static_cast<std::size_t>(u), metrics);
         } else {
           RelaxProviderDense(static_cast<std::size_t>(u), metrics);
@@ -139,6 +155,7 @@ class SspaSolver {
     for (std::size_t begin = 0; begin < count; begin += kDistanceBlock) {
       const std::size_t block = std::min(kDistanceBlock, count - begin);
       DistanceBlock(q_pos, xs + begin, ys + begin, block, dist);
+      metrics->distances_computed += block;
       for (std::size_t i = 0; i < block; ++i) {
         const auto p = static_cast<std::size_t>(ids[begin + i]);
         // A saturated unit edge only has its reverse direction left.
@@ -161,10 +178,87 @@ class SspaSolver {
     }
   }
 
+  // Fused-kernel relax over one cell-clustered slice: DistanceBlockSelect
+  // rejects every candidate whose label lower bound
+  //     dist + base + tau(p)  (base = alpha(q) - tau(q))
+  // cannot beat the certified upper bound min(alpha(t), run_ub) — evaluated
+  // in squared space against the slot-aligned tau slice, so rejected lanes
+  // never pay a sqrt — and compacts the survivors, which are the only lanes
+  // the heap-relax loop below ever touches. The cutoff is re-read per block
+  // because run_ub only tightens as survivors complete s~>q->p->t paths.
+  void RelaxSliceSelect(std::size_t q, const Point& q_pos, const UniformGrid::CellSlice& slice,
+                        double base, Metrics* metrics) {
+    std::int32_t keep[kDistanceBlock];
+    double d2[kDistanceBlock];
+    const double* taus = tau_floors_->values() + slice.first_slot;
+    for (std::size_t begin = 0; begin < slice.count; begin += kDistanceBlock) {
+      const std::size_t block = std::min(kDistanceBlock, slice.count - begin);
+      const double cutoff =
+          std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_) - base;
+      const std::size_t kept = DistanceBlockSelect(q_pos, slice.xs + begin, slice.ys + begin,
+                                                   taus + begin, block, cutoff, keep, d2);
+      metrics->relaxes_pruned += block - kept;
+      for (std::size_t i = 0; i < kept; ++i) {
+        const auto p =
+            static_cast<std::size_t>(slice.ids[begin + static_cast<std::size_t>(keep[i])]);
+        // A saturated unit edge only has its reverse direction left.
+        if (unit_customers_ && serving_[p] == static_cast<std::int32_t>(q)) continue;
+        // Exact recheck against the *current* bound before rooting: an
+        // earlier survivor may have tightened run_ub below this lane's
+        // label (the common case — the first relax of a near cell often
+        // closes a cheaper complete path), so the block-start kernel
+        // verdict is necessary but no longer sufficient. Still in squared
+        // space: only lanes that will actually be relaxed pay the sqrt.
+        const double ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+        const double r = ub - base - tau_p_[p];
+        if (alpha_[q] >= ub || r <= 0.0 || d2[i] >= r * r) {
+          ++metrics->relaxes_pruned;
+          continue;
+        }
+        const double cand = std::max(std::sqrt(d2[i]) + base + tau_p_[p], alpha_[q]);
+        ++metrics->distances_computed;
+        ++metrics->dijkstra_relaxes;
+        // p with sink residual completes an s~>q->p->t path of cost `cand`
+        // (tau(p) >= 0, so the p->t reduced cost is 0): `cand` upper-bounds
+        // this run's shortest-path cost, arming every downstream bound.
+        if (cand < run_ub_ && sink_flow_[p] < problem_.weight(p)) run_ub_ = cand;
+        Relax(static_cast<int>(nq_ + p), cand, static_cast<int>(q));
+      }
+    }
+  }
+
   void RelaxProviderDense(std::size_t q, Metrics* metrics) {
+    if (tau_floors_) {
+      RelaxDenseCells(q, metrics);
+      return;
+    }
     EnsureDenseArrays();
     RelaxSlice(q, problem_.providers[q].pos, identity_.data(), coords_.x.data(), coords_.y.data(),
                np_, /*ub_prune=*/true, metrics);
+  }
+
+  // The cell-partitioned dense fallback: same index-free spirit (no ring
+  // ordering, no early exit — every occupied cell is examined on every
+  // pop), but the examination unit is a cell, not a customer. Cells whose
+  // best possible reduced cost (mindist + per-cell tau floor) cannot beat
+  // the certified upper bound are skipped wholesale, and surviving cells
+  // run through the fused kernel — so the scan's quadratic term is paid in
+  // O(1) per-cell bound checks, not per-candidate distances.
+  void RelaxDenseCells(std::size_t q, Metrics* metrics) {
+    const Point q_pos = problem_.providers[q].pos;
+    const double base = alpha_[q] - tau_q_[q];
+    for (const std::int32_t cell : grid_->nonempty_cells()) {
+      const auto c = static_cast<std::size_t>(cell);
+      const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+      const double bound =
+          MinDist(q_pos, grid_->CellRect(c)) + base + tau_floors_->CellFloor(c);
+      if (std::max(bound, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += grid_->cell_end(c) - grid_->cell_begin(c);
+        ++metrics->cells_pruned;
+        continue;
+      }
+      RelaxSliceSelect(q, q_pos, grid_->Cell(c), base, metrics);
+    }
   }
 
   // Grid-pruned relax: pull candidate cells off a GridRingCursor (the
@@ -206,7 +300,8 @@ class SspaSolver {
   // NextCell / points_remaining). Charging stays with the caller.
   template <typename Cursor>
   void RelaxOverCursor(std::size_t q, const Point& q_pos, Cursor& cursor, Metrics* metrics) {
-    const double slack = alpha_[q] - tau_q_[q] + min_tau_p_;
+    const double base = alpha_[q] - tau_q_[q];
+    const double slack = base + min_tau_p_;
     int last_ring = -1;
     while (true) {
       // `sink_ub` only shrinks while cells are scanned (run_ub_ picks up
@@ -224,12 +319,21 @@ class SspaSolver {
       }
       // Per-cell refinement of the same bound (nothing between the sink_ub
       // read and this check can tighten run_ub_, so sink_ub is current).
-      if (std::max(cell->min_dist + slack, alpha_[q]) >= sink_ub) {
+      // With floors on, the cell's own tau floor replaces the global one —
+      // cells whose residents' potentials all grew are skipped even when
+      // the ring bound (held down by the global floor) cannot exit yet.
+      const double floor = tau_floors_ ? tau_floors_->CellFloor(cell->cell) : min_tau_p_;
+      if (std::max(cell->min_dist + base + floor, alpha_[q]) >= sink_ub) {
         metrics->relaxes_pruned += cell->slice.count;
+        ++metrics->cells_pruned;
         continue;
       }
-      RelaxSlice(q, q_pos, cell->slice.ids, cell->slice.xs, cell->slice.ys, cell->slice.count,
-                 /*ub_prune=*/false, metrics);
+      if (tau_floors_) {
+        RelaxSliceSelect(q, q_pos, cell->slice, base, metrics);
+      } else {
+        RelaxSlice(q, q_pos, cell->slice.ids, cell->slice.xs, cell->slice.ys, cell->slice.count,
+                   /*ub_prune=*/false, metrics);
+      }
     }
   }
 
@@ -302,7 +406,12 @@ class SspaSolver {
       if (static_cast<std::size_t>(u) < nq_) {
         tau_q_[static_cast<std::size_t>(u)] += delta;
       } else if (static_cast<std::size_t>(u) < nq_ + np_) {
-        tau_p_[static_cast<std::size_t>(u) - nq_] += delta;
+        const std::size_t p = static_cast<std::size_t>(u) - nq_;
+        tau_p_[p] += delta;
+        // Customer potentials only grow, so the incremental floor update
+        // stays within CellTauTable's monotone contract. Only the touched
+        // cells do any work — this replaced the per-run O(|P|) min rescan.
+        if (tau_floors_) tau_floors_->Raise(p, tau_p_[p]);
       }
     }
   }
@@ -384,8 +493,9 @@ class SspaSolver {
   std::size_t nq_;
   std::size_t np_;
   bool unit_customers_;
-  PointsSoA coords_;  // dense mode only, built lazily
+  PointsSoA coords_;  // legacy dense mode only, built lazily
   std::unique_ptr<UniformGrid> grid_;
+  std::unique_ptr<CellTauTable> tau_floors_;        // use_cell_floors mode
   std::unique_ptr<GridRingCursor> relax_cursor_;    // reset per provider pop
   std::unique_ptr<SharedCellSweep> shared_sweep_;  // use_shared_frontier mode
   double min_tau_p_ = 0.0;

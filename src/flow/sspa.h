@@ -15,8 +15,14 @@
 //     matchings stay cost-identical to the dense scan while the relax count
 //     drops by orders of magnitude (see src/flow/README.md for the
 //     invariant);
-//   * dense: the literal every-customer-per-pop scan, kept as the A/B
-//     escape hatch (`--dense` in cca_cli / bench_micro_flow).
+//   * dense: the every-customer-per-pop scan, kept as the A/B escape hatch
+//     (`--dense` in cca_cli / bench_micro_flow).
+// Orthogonally, per-cell tau floors (use_cell_floors, default on) tighten
+// the per-cell bound to the cell's own potential floor and route scanned
+// cells through the fused DistanceBlockSelect kernel, so candidates that
+// cannot beat the certified upper bound are rejected before any sqrt or
+// heap work — and the dense scan is partitioned through the same cells,
+// ending its quadratic distance term (src/flow/README.md).
 #ifndef CCA_FLOW_SSPA_H_
 #define CCA_FLOW_SSPA_H_
 
@@ -45,6 +51,25 @@ struct SspaConfig {
   // (geo/shared_frontier.h). Relax order and matchings are identical to
   // the private-cursor path; only the cell-fetch ledger changes.
   bool use_shared_frontier = false;
+  // Per-cell tau_p floors (geo/grid.h CellTauTable), maintained
+  // incrementally as augmentations move the potentials. They (a) replace
+  // the O(|P|) min-scan that used to open every Dijkstra run, (b) tighten
+  // the per-cell reduced-cost bound so whole cells are skipped where the
+  // global floor could not justify it, and (c) feed the fused
+  // DistanceBlockSelect kernel, which rejects candidates against a squared
+  // per-lane threshold before any sqrt or heap work. With floors on, the
+  // dense fallback also partitions its scan through the same grid cells
+  // instead of streaming all of |P| per pop. Matchings, pop counts and
+  // augmentation counts are identical either way (the bound is a certified
+  // lower bound; see src/flow/README.md); off keeps the legacy global-floor
+  // paths as the A/B escape hatch.
+  bool use_cell_floors = true;
+  // The shared sweep's per-solve setup (resident-set allocation, per-pop
+  // stats deltas) is pure overhead on instances small enough that every
+  // scan is already cheap; below this many customers `use_shared_frontier`
+  // silently falls back to the private per-solver cursor (identical relax
+  // trajectory, zero shared-frontier metrics). Set to 0 to force the sweep.
+  std::size_t shared_frontier_min_customers = 256;
 };
 
 struct SspaResult {

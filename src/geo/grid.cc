@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace cca {
 
@@ -59,20 +60,26 @@ void UniformGrid::Build(const std::vector<Point>& points, double target_per_cell
   xs_.resize(points.size());
   ys_.resize(points.size());
 
-  std::vector<std::int32_t> cell_of(points.size());
+  cell_of_.resize(points.size());
+  slot_of_.resize(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     int cx = 0, cy = 0;
     Locate(points[i], &cx, &cy);
-    cell_of[i] = static_cast<std::int32_t>(CellIndex(cx, cy));
-    ++start_[static_cast<std::size_t>(cell_of[i]) + 1];
+    cell_of_[i] = static_cast<std::int32_t>(CellIndex(cx, cy));
+    ++start_[static_cast<std::size_t>(cell_of_[i]) + 1];
   }
   for (std::size_t c = 0; c < num_cells; ++c) start_[c + 1] += start_[c];
   std::vector<std::int32_t> cursor(start_.begin(), start_.end() - 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cell_of[i])]++);
+    const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cell_of_[i])]++);
     items_[slot] = static_cast<std::int32_t>(i);
     xs_[slot] = points[i].x;
     ys_[slot] = points[i].y;
+    slot_of_[i] = static_cast<std::int32_t>(slot);
+  }
+  nonempty_cells_.clear();
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (start_[c + 1] > start_[c]) nonempty_cells_.push_back(static_cast<std::int32_t>(c));
   }
 }
 
@@ -142,7 +149,51 @@ UniformGrid::CellSlice UniformGrid::Cell(int cx, int cy) const {
   slice.xs = xs_.data() + begin;
   slice.ys = ys_.data() + begin;
   slice.count = end - begin;
+  slice.first_slot = begin;
   return slice;
+}
+
+CellTauTable::CellTauTable(const UniformGrid& grid)
+    : grid_(&grid),
+      values_(grid.size(), 0.0),
+      floors_(grid.num_cells(), std::numeric_limits<double>::infinity()) {
+  for (const std::int32_t c : grid.nonempty_cells()) {
+    floors_[static_cast<std::size_t>(c)] = 0.0;
+  }
+}
+
+void CellTauTable::Raise(std::size_t point_id, double value) {
+  const std::size_t slot = grid_->slot_of_point(point_id);
+  const double old = values_[slot];
+  if (value <= old) return;  // monotone contract: never lower a value
+  values_[slot] = value;
+  const std::size_t cell = grid_->cell_of_point(point_id);
+  // Only the cell's minimum can move the floor; other residents' raises
+  // leave it untouched (old > floor means somebody else holds the min).
+  if (old > floors_[cell]) return;
+  const std::size_t end = grid_->cell_end(cell);
+  double floor = values_[grid_->cell_begin(cell)];
+  for (std::size_t s = grid_->cell_begin(cell) + 1; s < end; ++s) {
+    floor = std::min(floor, values_[s]);
+  }
+  if (floor != floors_[cell]) {
+    // The global floor is the min over cell floors; it can only move when
+    // the cell holding it moves, so defer the rescan until someone asks.
+    if (floors_[cell] == global_floor_) global_dirty_ = true;
+    floors_[cell] = floor;
+  }
+}
+
+double CellTauTable::GlobalFloor() {
+  if (global_dirty_) {
+    global_dirty_ = false;
+    global_floor_ = std::numeric_limits<double>::infinity();
+    for (const std::int32_t c : grid_->nonempty_cells()) {
+      global_floor_ = std::min(global_floor_, floors_[static_cast<std::size_t>(c)]);
+    }
+    if (grid_->nonempty_cells().empty()) global_floor_ = 0.0;
+  }
+  return global_floor_;
 }
 
 }  // namespace cca

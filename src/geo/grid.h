@@ -28,11 +28,15 @@ class UniformGrid {
  public:
   // A cell's contents: point ids plus the matching cell-clustered
   // coordinate slices (xs[i]/ys[i] are the coordinates of ids[i]).
+  // `first_slot` is the slice's offset into the grid's clustered arrays, so
+  // side tables laid out in slot order (CellTauTable values) can be sliced
+  // in lockstep with the coordinates.
   struct CellSlice {
     const std::int32_t* ids = nullptr;
     const double* xs = nullptr;
     const double* ys = nullptr;
     std::size_t count = 0;
+    std::size_t first_slot = 0;
   };
 
   // Default resolution: average points per cell the builder aims for.
@@ -85,11 +89,49 @@ class UniformGrid {
 
   // Row-major index of cell (cx, cy) in [0, cols*rows): the addressing
   // contract for per-cell side tables (shared-frontier delivered/resident
-  // bitmaps key on it).
+  // bitmaps and CellTauTable floors key on it).
   std::size_t CellIndex(int cx, int cy) const {
     return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
            static_cast<std::size_t>(cx);
   }
+
+  std::size_t num_cells() const {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+
+  // Linear-index flavours of the cell accessors, for callers that sweep
+  // cells without ring geometry (the cell-partitioned dense SSPA scan).
+  CellSlice Cell(std::size_t cell_index) const {
+    return Cell(static_cast<int>(cell_index % static_cast<std::size_t>(cols_)),
+                static_cast<int>(cell_index / static_cast<std::size_t>(cols_)));
+  }
+  Rect CellRect(std::size_t cell_index) const {
+    return CellRect(static_cast<int>(cell_index % static_cast<std::size_t>(cols_)),
+                    static_cast<int>(cell_index / static_cast<std::size_t>(cols_)));
+  }
+
+  // Inverse maps of the clustered layout: the cell holding point `i`, and
+  // the slot of point `i` inside the clustered arrays (items_/xs_/ys_ and
+  // any slot-ordered side table).
+  std::size_t cell_of_point(std::size_t i) const {
+    return static_cast<std::size_t>(cell_of_[i]);
+  }
+  std::size_t slot_of_point(std::size_t i) const {
+    return static_cast<std::size_t>(slot_of_[i]);
+  }
+
+  // Slot span [begin, end) of a cell inside the clustered arrays.
+  std::size_t cell_begin(std::size_t cell_index) const {
+    return static_cast<std::size_t>(start_[cell_index]);
+  }
+  std::size_t cell_end(std::size_t cell_index) const {
+    return static_cast<std::size_t>(start_[cell_index + 1]);
+  }
+
+  // Linear indices of the occupied cells, ascending (built once per
+  // (re)build; the dense cell sweep and CellTauTable's global-floor rescan
+  // iterate it instead of the full cols*rows lattice).
+  const std::vector<std::int32_t>& nonempty_cells() const { return nonempty_cells_; }
 
   // Calls fn(cx, cy, slice) for every non-empty cell of ring `ring` around
   // the (clamped) cell of `q`.
@@ -145,6 +187,56 @@ class UniformGrid {
   std::vector<std::int32_t> items_;  // point ids, clustered by cell
   std::vector<double> xs_;           // coordinates aligned with items_
   std::vector<double> ys_;
+  std::vector<std::int32_t> cell_of_;  // point id -> cell index
+  std::vector<std::int32_t> slot_of_;  // point id -> slot in items_/xs_/ys_
+  std::vector<std::int32_t> nonempty_cells_;  // occupied cell indices, ascending
+};
+
+// Per-cell floor of a per-point scalar that only ever increases (the SSPA
+// customer potentials tau_p), maintained incrementally. The table keeps
+//
+//   * `values()`: a slot-ordered copy of the scalar, aligned with the
+//     grid's clustered coordinate slices so a kernel can stream
+//     `values() + slice.first_slot` next to `slice.xs`/`slice.ys`;
+//   * `CellFloor(c)`: the exact min over cell c's residents (+infinity for
+//     empty cells), recomputed by an O(residents) slice scan only when the
+//     raised point held the cell's minimum;
+//   * `GlobalFloor()`: the exact min over all residents, re-derived from
+//     the per-cell floors only when the cell that held it moved.
+//
+// Soundness under monotone updates (the src/flow/README.md invariant): a
+// stored floor is the min of values current at some earlier time; values
+// never decrease, so it remains a lower bound on the cell's residents even
+// before the incremental recompute lands. This class keeps floors *exact*
+// after every Raise, but consumers only ever rely on the lower-bound
+// direction.
+class CellTauTable {
+ public:
+  explicit CellTauTable(const UniformGrid& grid);
+
+  // Raises point `point_id` to `value` (must be >= the stored value;
+  // lower values are ignored, keeping the monotone contract) and restores
+  // the exactness of the resident cell's floor.
+  void Raise(std::size_t point_id, double value);
+
+  // Exact min value over the residents of `cell_index` (+infinity when the
+  // cell is empty).
+  double CellFloor(std::size_t cell_index) const { return floors_[cell_index]; }
+
+  // Exact min value over every indexed point (0 for an empty grid); cached,
+  // rescanning the occupied cells' floors only after a Raise displaced it.
+  double GlobalFloor();
+
+  // Slot-ordered value array: values()[slice.first_slot + i] is the value
+  // of point slice.ids[i].
+  const double* values() const { return values_.data(); }
+
+ private:
+  const UniformGrid* grid_;
+  std::vector<double> values_;  // slot-ordered, aligned with grid slices
+  std::vector<double> floors_;  // per cell; +infinity when empty
+  double global_floor_ = 0.0;
+  bool global_dirty_ = false;
 };
 
 }  // namespace cca

@@ -23,8 +23,8 @@ void GridRingCursor::FillRing() {
   pos_ = 0;
   while (ring_ <= max_ring_) {
     grid_->VisitRing(query_, ring_, [&](int cx, int cy, const UniformGrid::CellSlice& slice) {
-      buffer_.push_back(
-          CellView{cx, cy, ring_, MinDist(query_, grid_->CellRect(cx, cy)), slice});
+      buffer_.push_back(CellView{cx, cy, ring_, grid_->CellIndex(cx, cy),
+                                 MinDist(query_, grid_->CellRect(cx, cy)), slice});
     });
     if (!buffer_.empty()) {
       // Serving a ring's cells nearest-first lets TailMinDist() tighten

@@ -58,6 +58,7 @@ class GridRingCursor {
     int cx = 0;
     int cy = 0;
     int ring = 0;
+    std::size_t cell = 0;   // UniformGrid::CellIndex(cx, cy), the side-table key
     double min_dist = 0.0;  // MinDist(query, cell rect)
     UniformGrid::CellSlice slice;
   };

@@ -4,10 +4,8 @@
 
 namespace cca {
 
-SharedFrontier::SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries)
-    : grid_(&grid) {
-  const std::size_t num_cells =
-      static_cast<std::size_t>(grid.cols()) * static_cast<std::size_t>(grid.rows());
+SharedFrontier::SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries) {
+  const std::size_t num_cells = grid.num_cells();
   subs_.reserve(queries.size());
   for (const auto& q : queries) {
     subs_.push_back(Subscriber{q, GridRingCursor(grid, q), {}, std::vector<char>(num_cells, 0),
@@ -21,7 +19,7 @@ void SharedFrontier::Refine(int q) {
          (sub.heap.empty() || sub.heap.top().dist > sub.walker.TailMinDist())) {
     const auto cell = sub.walker.NextCell();
     if (!cell) break;
-    const std::size_t id = grid_->CellIndex(cell->cx, cell->cy);
+    const std::size_t id = cell->cell;
     // Multiplexed to this subscriber on an earlier fetch: the points are
     // already in its heap, the walk past the cell just tightens the bound.
     if (sub.delivered[id]) continue;
@@ -59,15 +57,12 @@ double SharedFrontier::PeekDistance(int q) {
 }
 
 SharedCellSweep::SharedCellSweep(const UniformGrid& grid)
-    : grid_(&grid),
-      cursor_(grid, Point{}),
-      resident_(static_cast<std::size_t>(grid.cols()) * static_cast<std::size_t>(grid.rows()),
-                0) {}
+    : cursor_(grid, Point{}), resident_(grid.num_cells(), 0) {}
 
 std::optional<GridRingCursor::CellView> SharedCellSweep::NextCell() {
   const auto cell = cursor_.NextCell();
   if (!cell) return cell;
-  auto& slot = resident_[grid_->CellIndex(cell->cx, cell->cy)];
+  auto& slot = resident_[cell->cell];
   if (slot == 0) {
     slot = 1;
     ++stats_.cell_fetches;

@@ -97,9 +97,10 @@ class SharedFrontier {
 
   // Expands q's sweep until its heap top is certified by its walker's
   // tail bound (or the grid drains), multiplexing each fetched cell.
+  // (Cells carry their own side-table key, CellView::cell, so no grid
+  // pointer is needed here.)
   void Refine(int q);
 
-  const UniformGrid* grid_;
   std::vector<Subscriber> subs_;
   SharedFrontierStats stats_;
 };
@@ -124,7 +125,6 @@ class SharedCellSweep {
   const SharedFrontierStats& stats() const { return stats_; }
 
  private:
-  const UniformGrid* grid_;
   GridRingCursor cursor_;
   std::vector<char> resident_;
   SharedFrontierStats stats_;

@@ -246,6 +246,38 @@ TEST(SharedFrontierBackend, SspaSharedSweepMatchesPrivateCursor) {
   }
 }
 
+// Below SspaConfig::shared_frontier_min_customers the sweep's per-solve
+// setup is pure overhead (the 10x200 bench row paid ~5x wall clock for
+// it), so small instances silently fall back to the private cursor:
+// identical relax trajectory and matching, zero shared-frontier metrics.
+TEST(SharedFrontierBackend, SspaSmallInstanceFallsBackToPrivateCursor) {
+  test::InstanceSpec spec;
+  spec.nq = 10;
+  spec.np = 200;  // below the default 256-customer threshold
+  spec.k_lo = 2;
+  spec.k_hi = 5;
+  spec.seed = 83;
+  const Problem problem = test::RandomProblem(spec);
+  SspaConfig plain;
+  SspaConfig shared = plain;
+  shared.use_shared_frontier = true;
+  const SspaResult a = SolveSspa(problem, plain);
+  const SspaResult b = SolveSspa(problem, shared);
+  EXPECT_EQ(b.metrics.shared_frontier_cell_fetches, 0u);
+  EXPECT_EQ(b.metrics.shared_frontier_fanout, 0u);
+  EXPECT_EQ(b.metrics.grid_cursor_cells, a.metrics.grid_cursor_cells);
+  EXPECT_EQ(b.metrics.dijkstra_relaxes, a.metrics.dijkstra_relaxes);
+  EXPECT_NEAR(a.matching.cost(), b.matching.cost(), 1e-9);
+  // Forcing the sweep (threshold 0) still works and still matches.
+  SspaConfig forced = shared;
+  forced.shared_frontier_min_customers = 0;
+  const SspaResult c = SolveSspa(problem, forced);
+  EXPECT_GT(c.metrics.shared_frontier_cell_fetches, 0u);
+  EXPECT_LT(c.metrics.grid_cursor_cells, a.metrics.grid_cursor_cells);
+  EXPECT_EQ(c.metrics.dijkstra_relaxes, a.metrics.dijkstra_relaxes);
+  EXPECT_NEAR(a.matching.cost(), c.matching.cost(), 1e-9);
+}
+
 // The acceptance-bar regression guard: at |Q|=100, |P|=10k the batched
 // frontier must fetch at most half the cells the per-provider cursors
 // fetch, with a cost-identical matching.

@@ -36,6 +36,12 @@ COUNTER_KEYS = (
     "grid_rings_scanned",
     "grid_cursor_cells",
     "shared_frontier_cell_fetches",
+    # The quadratic term the cell-level pruning + fused early-reject kernel
+    # exist to kill: exact (sqrt) distances materialised by the relax
+    # kernels. Gated so a refactor cannot silently reintroduce it.
+    # (cells_pruned and relaxes_pruned are reported but not gated: growth
+    # there means *more* pruning, which is an improvement.)
+    "distances_computed",
     "esub",
     "node_accesses",
     "index_node_accesses",

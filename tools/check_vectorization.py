@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Release-mode vectorization smoke check for the fused distance kernel.
+
+Compiles src/core/problem.cc standalone with the library's Release flags
+plus GCC's `-fopt-info-vec-optimized`, and asserts that at least one
+"loop vectorized" remark lands inside the body of `DistanceBlockSelect`
+(the SIMD early-reject pass of the SSPA relax hot path). A refactor that
+silently de-vectorizes the kernel -- e.g. reintroducing errno-setting libm
+calls, a branch in the squared-compare loop, or non-contiguous loads --
+fails this check instead of showing up later as an unexplained wall-clock
+regression.
+
+Wired up as a ctest (`check_kernel_vectorization`, GCC-only: clang spells
+the remarks differently) and run by CI on the Release matrix leg. The
+check compiles its own object at -O3 regardless of the surrounding build
+type, so it is deterministic across Debug/Release trees.
+
+Usage: check_vectorization.py [--compiler g++] [--repo /path/to/repo]
+"""
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+KERNEL = "DistanceBlockSelect"
+
+
+def kernel_line_range(src_path):
+    """Line span [begin, end] of the kernel's definition, by brace count."""
+    with open(src_path) as f:
+        lines = f.readlines()
+    begin = None
+    depth = 0
+    for i, line in enumerate(lines, start=1):
+        if begin is None:
+            if re.search(rf"\b{KERNEL}\s*\(", line):
+                begin = i
+            else:
+                continue
+        depth += line.count("{") - line.count("}")
+        if begin is not None and depth == 0 and "{" in "".join(lines[begin - 1:i]):
+            return begin, i
+    raise SystemExit(f"could not locate {KERNEL} definition in {src_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    parser.add_argument("--repo", default=os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    src = os.path.join(args.repo, "src", "core", "problem.cc")
+    inc = os.path.join(args.repo, "src")
+    begin, end = kernel_line_range(src)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cmd = [
+            args.compiler, "-std=c++17", "-O3", "-fno-math-errno",
+            "-fopt-info-vec-optimized", "-I", inc, "-c", src,
+            "-o", os.path.join(tmp, "problem.o"),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"compilation failed: {' '.join(cmd)}")
+
+    # GCC emits remarks like "src/core/problem.cc:51:27: optimized: loop
+    # vectorized using 16 byte vectors" on stderr.
+    remarks = []
+    for line in proc.stderr.splitlines():
+        m = re.search(r"problem\.cc:(\d+):\d+: optimized: loop vectorized", line)
+        if m:
+            remarks.append(int(m.group(1)))
+    hits = [ln for ln in remarks if begin <= ln <= end]
+    print(f"{KERNEL} spans {src}:{begin}-{end}; vectorized-loop remarks at "
+          f"lines {sorted(remarks)} ({len(hits)} inside the kernel)")
+    if not hits:
+        print(f"FAIL: no vectorized loop inside {KERNEL} -- the fused "
+              "early-reject pass has been de-vectorized", file=sys.stderr)
+        return 1
+    print("OK: fused kernel vectorizes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
