@@ -12,10 +12,15 @@
 // quadratic distance term cannot silently regress. Usage:
 //
 //   bench_micro_flow [--out BENCH_sspa.json] [--max-np N] [--dense-max-np N]
+//                    [--threads N] [--repeat R]
 //
 // --dense-max-np caps the sizes the dense baseline is run at (the dense
 // scan is quadratic; the default still covers the 10k-customer point the
-// acceptance bar is measured at).
+// acceptance bar is measured at). --repeat replicates every solve R times
+// and --threads drives the replicas through the concurrent QueryRunner
+// (src/runtime) over one shared grid; reported counters stay per-solve
+// (replicas are bit-identical), and a throughput line is printed per run.
+// The defaults (1/1) keep the legacy direct-solve path.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -23,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "flow/sspa.h"
 #include "gen/generator.h"
+#include "runtime/query_runner.h"
 
 namespace {
 
@@ -50,7 +57,8 @@ struct Run {
 };
 
 void PrintRow(const Run& r) {
-  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %12llu %10llu %10llu %10llu %10.1f %12.1f\n",
+  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %12llu %10llu %10llu %10llu %10llu %10.1f "
+              "%12.1f\n",
               r.nq, r.np, r.k, r.mode,
               static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
               static_cast<unsigned long long>(r.result.metrics.relaxes_pruned),
@@ -59,8 +67,36 @@ void PrintRow(const Run& r) {
               static_cast<unsigned long long>(r.result.metrics.grid_rings_scanned),
               static_cast<unsigned long long>(r.result.metrics.grid_cursor_cells),
               static_cast<unsigned long long>(r.result.metrics.cells_pruned),
+              static_cast<unsigned long long>(r.result.metrics.dense_cells_checked),
               r.result.metrics.cpu_millis, r.result.matching.cost());
   std::fflush(stdout);
+}
+
+// Runs `config` once directly (threads == 1, repeat == 1: the legacy exact
+// path) or as `repeat` replicas through a QueryRunner over `index`. The
+// returned result is the first replica's (all replicas are bit-identical —
+// the runner's determinism contract); throughput is printed per run.
+cca::SspaResult RunSspa(const cca::Problem& problem, const cca::SspaConfig& config,
+                        const cca::SharedIndex& index, std::size_t threads, std::size_t repeat) {
+  if (threads <= 1 && repeat <= 1) return cca::SolveSspa(problem, config);
+  std::vector<cca::QuerySpec> batch(repeat);
+  for (auto& spec : batch) {
+    spec.solver = cca::QuerySolver::kSspa;
+    spec.problem = problem;
+    spec.sspa = config;
+  }
+  cca::QueryRunner runner(&index, threads);
+  cca::Timer timer;
+  std::vector<cca::QueryOutcome> outcomes = runner.Run(batch);
+  const double wall = timer.ElapsedMillis();
+  std::printf("  [%zu replicas x %zu threads: %.1f ms wall, %.1f solves/s]\n", repeat, threads,
+              wall, wall > 0.0 ? 1000.0 * static_cast<double>(repeat) / wall : 0.0);
+  cca::SspaResult result;
+  result.matching = std::move(outcomes.front().matching);
+  result.metrics = outcomes.front().metrics;
+  result.conceptual_edges =
+      static_cast<std::uint64_t>(problem.providers.size()) * problem.customers.size();
+  return result;
 }
 
 void WriteJson(const std::vector<Run>& runs, const std::string& path) {
@@ -76,7 +112,8 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
     std::fprintf(f,
                  "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
                  "\"relaxes\": %llu, \"relaxes_pruned\": %llu, "
-                 "\"distances_computed\": %llu, \"cells_pruned\": %llu, \"pops\": %llu, "
+                 "\"distances_computed\": %llu, \"cells_pruned\": %llu, "
+                 "\"dense_cells_checked\": %llu, \"pops\": %llu, "
                  "\"grid_rings_scanned\": %llu, \"grid_cursor_cells\": %llu, "
                  "\"shared_frontier_cell_fetches\": %llu, \"shared_frontier_fanout\": %llu, "
                  "\"augmentations\": %llu, "
@@ -85,6 +122,7 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
                  static_cast<unsigned long long>(m.relaxes_pruned),
                  static_cast<unsigned long long>(m.distances_computed),
                  static_cast<unsigned long long>(m.cells_pruned),
+                 static_cast<unsigned long long>(m.dense_cells_checked),
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.grid_rings_scanned),
                  static_cast<unsigned long long>(m.grid_cursor_cells),
@@ -104,6 +142,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_sspa.json";
   std::size_t max_np = 20000;
   std::size_t dense_max_np = 10000;
+  std::size_t threads = 1;
+  std::size_t repeat = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -119,11 +159,19 @@ int main(int argc, char** argv) {
       max_np = static_cast<std::size_t>(std::atoll(next()));
     } else if (flag == "--dense-max-np") {
       dense_max_np = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--threads") {
+      threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--repeat") {
+      repeat = static_cast<std::size_t>(std::atoll(next()));
     } else {
-      std::fprintf(stderr, "usage: bench_micro_flow [--out FILE] [--max-np N] [--dense-max-np N]\n");
+      std::fprintf(stderr,
+                   "usage: bench_micro_flow [--out FILE] [--max-np N] [--dense-max-np N] "
+                   "[--threads N] [--repeat R]\n");
       return 2;
     }
   }
+  if (repeat < 1) repeat = 1;
+  if (threads > 1 && repeat == 1) repeat = threads;  // give the pool work to share
 
   struct Shape {
     std::size_t nq, np;
@@ -134,16 +182,21 @@ int main(int argc, char** argv) {
       {50, 5000, 40}, {100, 10000, 40}, {100, 20000, 80},
   };
 
-  std::printf("%6s %8s %4s %-6s %14s %14s %12s %12s %10s %10s %10s %10s %12s\n", "nq", "np", "k",
-              "mode", "relaxes", "pruned", "distances", "pops", "rings", "cells", "cellspr",
-              "millis", "cost");
+  std::printf("%6s %8s %4s %-6s %14s %14s %12s %12s %10s %10s %10s %10s %10s %12s\n", "nq", "np",
+              "k", "mode", "relaxes", "pruned", "distances", "pops", "rings", "cells", "cellspr",
+              "densechk", "millis", "cost");
   std::vector<Run> runs;
   for (const Shape& s : shapes) {
     if (s.np > max_np) continue;
     const cca::Problem problem = MakeUniformProblem(s.nq, s.np, s.k);
+    // Shared read-only relax grid for the runner path (SSPA never touches
+    // the R-tree, so skip the bulk load).
+    cca::SharedIndex::Options index_options;
+    index_options.build_customer_db = false;
+    const cca::SharedIndex index(problem.customers, index_options);
     cca::SspaConfig grid_config;
     grid_config.use_grid = true;
-    runs.push_back(Run{s.nq, s.np, s.k, "grid", cca::SolveSspa(problem, grid_config)});
+    runs.push_back(Run{s.nq, s.np, s.k, "grid", RunSspa(problem, grid_config, index, threads, repeat)});
     const std::size_t grid_run = runs.size() - 1;
     PrintRow(runs.back());
     {
@@ -152,7 +205,8 @@ int main(int argc, char** argv) {
       cca::SspaConfig shared_config;
       shared_config.use_grid = true;
       shared_config.use_shared_frontier = true;
-      runs.push_back(Run{s.nq, s.np, s.k, "shared", cca::SolveSspa(problem, shared_config)});
+      runs.push_back(
+          Run{s.nq, s.np, s.k, "shared", RunSspa(problem, shared_config, index, threads, repeat)});
       PrintRow(runs.back());
       const Run& g = runs[grid_run];
       const Run& sh = runs[runs.size() - 1];
@@ -166,7 +220,8 @@ int main(int argc, char** argv) {
     if (s.np <= dense_max_np) {
       cca::SspaConfig dense_config;
       dense_config.use_grid = false;
-      runs.push_back(Run{s.nq, s.np, s.k, "dense", cca::SolveSspa(problem, dense_config)});
+      runs.push_back(
+          Run{s.nq, s.np, s.k, "dense", RunSspa(problem, dense_config, index, threads, repeat)});
       PrintRow(runs.back());
       const Run& g = runs[grid_run];
       const Run& d = runs[runs.size() - 1];

@@ -7,6 +7,13 @@
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
 //           [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]
 //           [--backend auto|rtree|ann|grid|grid-batched]
+//           [--threads N] [--repeat R]
+//
+// --repeat replicates the solve R times and --threads runs the replicas
+// through the concurrent QueryRunner (src/runtime) over one shared index;
+// per-solve metrics are unchanged (replicas are bit-identical) and
+// throughput/latency lines are appended. sa/ca are per-call stateful over
+// the approximation pipeline and are not routed through the runner.
 //
 // --dense switches SSPA to the literal every-customer relax scan (the
 // grid-pruned relax is the default); use it for A/B comparisons.
@@ -21,17 +28,21 @@
 // the shared sweep too (SspaConfig::use_shared_frontier).
 //
 // Output: one `key=value` line per metric (easy to grep / parse).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/timer.h"
 #include "core/approx.h"
 #include "core/customer_db.h"
 #include "core/exact.h"
 #include "core/greedy.h"
 #include "flow/sspa.h"
 #include "gen/generator.h"
+#include "runtime/query_runner.h"
 
 namespace {
 
@@ -50,6 +61,8 @@ struct Args {
   bool dense_sspa = false;
   bool cell_floors = true;
   std::string backend = "auto";
+  std::size_t threads = 1;
+  std::size_t repeat = 1;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -90,6 +103,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->cell_floors = false;
     } else if (flag == "--backend") {
       args->backend = next();
+    } else if (flag == "--threads") {
+      args->threads = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--repeat") {
+      args->repeat = static_cast<std::size_t>(std::atoll(next()));
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -110,7 +127,8 @@ int main(int argc, char** argv) {
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
                  "               [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]\n"
-                 "               [--backend auto|rtree|ann|grid|grid-batched]\n");
+                 "               [--backend auto|rtree|ann|grid|grid-batched]\n"
+                 "               [--threads N] [--repeat R]\n");
     return 2;
   }
 
@@ -150,10 +168,62 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  SspaConfig sspa;
+  if (args.solver == "sspa") {
+    if (args.dense_sspa && args.backend == "grid-batched") {
+      std::fprintf(stderr, "--dense and --backend grid-batched are mutually exclusive: "
+                           "the dense scan never touches the grid\n");
+      return 2;
+    }
+    sspa.use_grid = !args.dense_sspa;
+    sspa.use_cell_floors = args.cell_floors;
+    sspa.use_shared_frontier = args.backend == "grid-batched";
+  }
+
+  const bool runnable = args.solver == "ida" || args.solver == "nia" || args.solver == "ria" ||
+                        args.solver == "greedy" || args.solver == "sspa";
+  const bool use_runner = (args.threads > 1 || args.repeat > 1) && runnable;
+  const std::size_t repeat = args.repeat < 1 ? 1 : args.repeat;
+  if ((args.threads > 1 || args.repeat > 1) && !use_runner &&
+      (args.solver == "sa" || args.solver == "ca")) {
+    std::fprintf(stderr, "--threads/--repeat support ida|nia|ria|greedy|sspa only\n");
+    return 2;
+  }
+
   Matching matching;
   Metrics metrics;
-  if (args.solver == "ida" || args.solver == "nia" || args.solver == "ria" ||
-      args.solver == "greedy") {
+  if (use_runner) {
+    QuerySpec spec;
+    spec.problem = problem;
+    spec.exact = exact;
+    spec.sspa = sspa;
+    if (args.solver == "ida") spec.solver = QuerySolver::kIda;
+    if (args.solver == "nia") spec.solver = QuerySolver::kNia;
+    if (args.solver == "ria") spec.solver = QuerySolver::kRia;
+    if (args.solver == "greedy") spec.solver = QuerySolver::kGreedy;
+    if (args.solver == "sspa") spec.solver = QuerySolver::kSspa;
+    SharedIndex::Options index_options;
+    index_options.db = db_options;
+    index_options.build_customer_db = args.solver != "sspa";
+    const SharedIndex index(problem.customers, index_options);
+    const std::vector<QuerySpec> batch(repeat, spec);
+    QueryRunner runner(&index, args.threads);
+    Timer timer;
+    std::vector<QueryOutcome> outcomes = runner.Run(batch);
+    const double wall = timer.ElapsedMillis();
+    matching = std::move(outcomes.front().matching);
+    metrics = outcomes.front().metrics;
+    std::vector<double> lat;
+    lat.reserve(outcomes.size());
+    for (const auto& o : outcomes) lat.push_back(o.latency_millis);
+    std::sort(lat.begin(), lat.end());
+    std::printf("threads=%zu repeat=%zu\n", runner.num_threads(), repeat);
+    std::printf("wall_ms=%.1f\n", wall);
+    std::printf("qps=%.2f\n", wall > 0.0 ? 1000.0 * static_cast<double>(repeat) / wall : 0.0);
+    std::printf("p50_ms=%.3f p99_ms=%.3f\n", lat[lat.size() / 2],
+                lat[static_cast<std::size_t>(0.99 * static_cast<double>(lat.size() - 1))]);
+  } else if (args.solver == "ida" || args.solver == "nia" || args.solver == "ria" ||
+             args.solver == "greedy") {
     ExactResult r;
     if (args.solver == "ida") r = SolveIda(problem, &db, exact);
     if (args.solver == "nia") r = SolveNia(problem, &db, exact);
@@ -162,16 +232,7 @@ int main(int argc, char** argv) {
     matching = std::move(r.matching);
     metrics = r.metrics;
   } else if (args.solver == "sspa") {
-    if (args.dense_sspa && args.backend == "grid-batched") {
-      std::fprintf(stderr, "--dense and --backend grid-batched are mutually exclusive: "
-                           "the dense scan never touches the grid\n");
-      return 2;
-    }
-    SspaConfig config;
-    config.use_grid = !args.dense_sspa;
-    config.use_cell_floors = args.cell_floors;
-    config.use_shared_frontier = args.backend == "grid-batched";
-    SspaResult r = SolveSspa(problem, config);
+    SspaResult r = SolveSspa(problem, sspa);
     matching = std::move(r.matching);
     metrics = r.metrics;
   } else if (args.solver == "sa" || args.solver == "ca") {
@@ -202,6 +263,9 @@ int main(int argc, char** argv) {
   std::printf("dijkstra_relaxes=%llu\n",
               static_cast<unsigned long long>(metrics.dijkstra_relaxes));
   std::printf("relaxes_pruned=%llu\n", static_cast<unsigned long long>(metrics.relaxes_pruned));
+  std::printf("cells_pruned=%llu\n", static_cast<unsigned long long>(metrics.cells_pruned));
+  std::printf("dense_cells_checked=%llu\n",
+              static_cast<unsigned long long>(metrics.dense_cells_checked));
   std::printf("grid_rings_scanned=%llu\n",
               static_cast<unsigned long long>(metrics.grid_rings_scanned));
   std::printf("node_accesses=%llu\n", static_cast<unsigned long long>(metrics.node_accesses));

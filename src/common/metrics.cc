@@ -4,7 +4,7 @@
 
 namespace cca {
 
-void Metrics::Accumulate(const Metrics& other) {
+void Metrics::Merge(const Metrics& other) {
   edges_inserted += other.edges_inserted;
   dijkstra_runs += other.dijkstra_runs;
   dijkstra_resumes += other.dijkstra_resumes;
@@ -17,6 +17,7 @@ void Metrics::Accumulate(const Metrics& other) {
   relaxes_pruned += other.relaxes_pruned;
   distances_computed += other.distances_computed;
   cells_pruned += other.cells_pruned;
+  dense_cells_checked += other.dense_cells_checked;
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;

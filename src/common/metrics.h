@@ -40,9 +40,15 @@ struct Metrics {
   // the cell-level pruning exists to kill; CI gates it via bench_diff.py.
   std::uint64_t distances_computed = 0;
   // Whole cells skipped by the per-cell reduced-cost bound
-  // (mindist + per-cell tau floor), the cell-granular counterpart of
-  // relaxes_pruned.
+  // (mindist + per-cell tau floor) during *ring-ordered* relax scans, the
+  // cell-granular counterpart of relaxes_pruned.
   std::uint64_t cells_pruned = 0;
+  // Cells examined by the cell-partitioned dense fallback (every occupied
+  // cell, every provider pop — RelaxDenseCells in src/flow/sspa.cc).
+  // Deliberately separate from cells_pruned: the dense sweep's O(#cells)
+  // bound checks per pop run to hundreds of millions at bench scale and
+  // would swamp the grid-mode pruning signal if charged to one counter.
+  std::uint64_t dense_cells_checked = 0;
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served
@@ -71,9 +77,19 @@ struct Metrics {
 
   void Reset() { *this = Metrics{}; }
 
-  // Merges counters from another bundle (used when a driver runs phases
-  // with separate bundles, e.g. approximate partition + concise + refine).
-  void Accumulate(const Metrics& other);
+  // Merges counters from another bundle. Two callers rely on it: drivers
+  // that run phases with separate bundles (approximate partition + concise
+  // + refine), and the concurrent QueryRunner (src/runtime/), which hands
+  // every query its own bundle and merges after the batch joins — counters
+  // stay exact under concurrency because no bundle is ever shared between
+  // threads.
+  void Merge(const Metrics& other);
+  Metrics& operator+=(const Metrics& other) {
+    Merge(other);
+    return *this;
+  }
+  // Legacy spelling of Merge.
+  void Accumulate(const Metrics& other) { Merge(other); }
 
   // Human-readable one-line summary, used by examples and benches.
   std::string ToString() const;

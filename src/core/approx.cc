@@ -29,7 +29,7 @@ ApproxResult SolveSa(const Problem& problem, CustomerDb* db, const ApproxConfig&
   concise.weights = problem.weights;
   ExactResult ida = SolveIda(concise, db, config.exact);
   result.concise_cost = ida.matching.cost();
-  result.metrics.Accumulate(ida.metrics);
+  result.metrics.Merge(ida.metrics);
 
   // --- refinement: per provider group, place its matched customers ----------
   std::vector<std::vector<RTree::Hit>> group_customers(groups.size());
@@ -83,7 +83,7 @@ ApproxResult SolveCa(const Problem& problem, CustomerDb* db, const ApproxConfig&
   rep_db.Prewarm();
   ExactResult ida = SolveIda(concise, &rep_db, config.exact);
   result.concise_cost = ida.matching.cost();
-  result.metrics.Accumulate(ida.metrics);
+  result.metrics.Merge(ida.metrics);
 
   // --- refinement: fetch each group's customers, honour per-provider units --
   std::vector<std::vector<std::pair<int, std::int64_t>>> group_quotas(groups.size());

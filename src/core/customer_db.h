@@ -2,7 +2,9 @@
 //
 // Mirrors the paper's setting (Section 3): Q fits in memory, P lives in an
 // R-tree on disk behind a small LRU buffer. All exact and approximate
-// solvers take a CustomerDb; I/O metrics are read off it with snapshots.
+// solvers take a CustomerDb; I/O metrics are attributed per query through
+// thread-local tallies (IoScope below), so concurrent queries over one
+// shared tree each see exactly their own accesses and faults.
 #ifndef CCA_CORE_CUSTOMER_DB_H_
 #define CCA_CORE_CUSTOMER_DB_H_
 
@@ -37,7 +39,8 @@ class CustomerDb {
   const std::vector<Point>& points() const { return points_; }
   std::size_t size() const { return points_.size(); }
 
-  // I/O counters (monotone; callers snapshot-diff around a phase).
+  // Global I/O counters (monotone, shared across all queries). Per-query
+  // attribution goes through IoScope; these remain for whole-run totals.
   std::uint64_t page_faults() const { return tree_->buffer().stats().faults; }
   std::uint64_t node_accesses() const { return tree_->node_accesses(); }
 
@@ -53,31 +56,37 @@ class CustomerDb {
   std::unique_ptr<RTree> tree_;
 };
 
-// Snapshot-diff helper: accumulates the I/O performed during its lifetime
-// into a Metrics bundle on Finish().
+// Accumulates the R-tree I/O performed by *this thread* during the scope's
+// lifetime into a Metrics bundle on Finish(). Built on ScopedIoTally, so
+// unlike a snapshot-diff of the tree's global counters it stays exact when
+// other threads traverse the same tree concurrently. Scopes nest (outer
+// scopes include inner scopes' work) but must be finished in LIFO order on
+// the thread that created them.
 class IoScope {
  public:
   IoScope(CustomerDb* db, Metrics* metrics)
-      : db_(db), metrics_(metrics), faults_(db->page_faults()), nodes_(db->node_accesses()) {}
+      : metrics_(metrics), scope_(db != nullptr ? db->tree() : nullptr, &tally_) {}
 
   void Finish() {
-    if (db_ == nullptr) return;
-    metrics_->page_faults += db_->page_faults() - faults_;
-    const std::uint64_t nodes = db_->node_accesses() - nodes_;
-    metrics_->node_accesses += nodes;
+    scope_.Detach();
+    if (metrics_ == nullptr) return;
+    metrics_->page_faults += tally_.page_faults;
+    metrics_->node_accesses += tally_.node_accesses;
     // R-tree nodes count toward the backend-neutral index-access total
     // (grid backends add their cursor cells to the same counter).
-    metrics_->index_node_accesses += nodes;
-    db_ = nullptr;
+    metrics_->index_node_accesses += tally_.node_accesses;
+    metrics_ = nullptr;
   }
 
   ~IoScope() { Finish(); }
 
+  IoScope(const IoScope&) = delete;
+  IoScope& operator=(const IoScope&) = delete;
+
  private:
-  CustomerDb* db_;
   Metrics* metrics_;
-  std::uint64_t faults_;
-  std::uint64_t nodes_;
+  RTreeIoTally tally_;
+  ScopedIoTally scope_;
 };
 
 }  // namespace cca

@@ -25,6 +25,8 @@
 
 namespace cca {
 
+class UniformGrid;
+
 // Candidate-discovery backend for the exact solvers (see src/core/README.md
 // for the layer contract). All backends yield cost-identical matchings;
 // they differ in how the "next nearest candidate" primitive is served:
@@ -71,6 +73,13 @@ struct ExactConfig {
   // IDA only: enable the full-provider distance lift in pending-edge keys.
   // Disabling it reduces IDA's bound to NIA's (ablation switch).
   bool ida_distance_lift = true;
+  // Prebuilt grid for the kGrid/kGridBatched backends, owned by the caller
+  // (the runtime's SharedIndex builds one per customer set and shares it
+  // across concurrent queries). Must cover the same points the solver is
+  // given, at the resolution grid_stream_target_per_cell would produce;
+  // null means each solve builds (and owns) a private grid. The grid is
+  // read-only during solves, so sharing is safe.
+  const UniformGrid* shared_stream_grid = nullptr;
 };
 
 struct ExactResult {

@@ -68,14 +68,20 @@ class GroupedNnSource : public NnSource {
   std::unique_ptr<GroupAnnSearcher> searcher_;
 };
 
-// Grid ring cursors over the memory-resident customer array.
+// Grid ring cursors over the memory-resident customer array. The grid is
+// either borrowed (a caller-owned shared immutable grid, so concurrent
+// queries skip the per-solve build) or built and owned here.
 class GridNnSource : public NnSource {
  public:
   GridNnSource(const std::vector<Point>& customers, const std::vector<Provider>& providers,
-               double target_per_cell, Metrics* metrics)
-      : grid_(customers, target_per_cell), metrics_(metrics) {
+               double target_per_cell, const UniformGrid* shared_grid, Metrics* metrics)
+      : owned_grid_(shared_grid != nullptr
+                        ? nullptr
+                        : std::make_unique<UniformGrid>(customers, target_per_cell)),
+        grid_(shared_grid != nullptr ? shared_grid : owned_grid_.get()),
+        metrics_(metrics) {
     cursors_.reserve(providers.size());
-    for (const auto& q : providers) cursors_.emplace_back(grid_, q.pos);
+    for (const auto& q : providers) cursors_.emplace_back(*grid_, q.pos);
   }
 
   // Runs `op` and charges any cells it fetched to the metrics bundle —
@@ -106,7 +112,8 @@ class GridNnSource : public NnSource {
   }
 
  private:
-  UniformGrid grid_;
+  std::unique_ptr<UniformGrid> owned_grid_;  // null when borrowing
+  const UniformGrid* grid_;
   Metrics* metrics_;
   std::vector<GridNnCursor> cursors_;
 };
@@ -120,8 +127,12 @@ class BatchedGridSource : public NnSource {
  public:
   BatchedGridSource(const std::vector<Point>& customers, const std::vector<Provider>& providers,
                     double target_per_cell, std::size_t max_group_size, const Rect& world,
-                    Metrics* metrics)
-      : grid_(customers, target_per_cell), metrics_(metrics) {
+                    const UniformGrid* shared_grid, Metrics* metrics)
+      : owned_grid_(shared_grid != nullptr
+                        ? nullptr
+                        : std::make_unique<UniformGrid>(customers, target_per_cell)),
+        grid_(shared_grid != nullptr ? shared_grid : owned_grid_.get()),
+        metrics_(metrics) {
     std::vector<Point> positions;
     positions.reserve(providers.size());
     for (const auto& q : providers) positions.push_back(q.pos);
@@ -136,7 +147,7 @@ class BatchedGridSource : public NnSource {
                                                      static_cast<int>(members.size())};
         members.push_back(positions[static_cast<std::size_t>(idx)]);
       }
-      frontiers_.push_back(std::make_unique<SharedFrontier>(grid_, members));
+      frontiers_.push_back(std::make_unique<SharedFrontier>(*grid_, members));
     }
   }
 
@@ -184,7 +195,8 @@ class BatchedGridSource : public NnSource {
     int member = 0;
   };
 
-  UniformGrid grid_;
+  std::unique_ptr<UniformGrid> owned_grid_;  // null when borrowing
+  const UniformGrid* grid_;
   Metrics* metrics_;
   std::vector<MemberRef> member_of_;
   std::vector<std::unique_ptr<SharedFrontier>> frontiers_;
@@ -208,12 +220,13 @@ std::unique_ptr<NnSource> MakeNnSource(CustomerDb* db, const Problem& problem,
   switch (ResolveDiscoveryBackend(config, problem.providers.size())) {
     case DiscoveryBackend::kGrid:
       return std::make_unique<GridNnSource>(db->points(), problem.providers,
-                                            ResolveGridTargetPerCell(config), metrics);
+                                            ResolveGridTargetPerCell(config),
+                                            config.shared_stream_grid, metrics);
     case DiscoveryBackend::kGridBatched:
       return std::make_unique<BatchedGridSource>(
           db->points(), problem.providers, ResolveGridTargetPerCell(config),
           config.batch_group_size > 0 ? config.batch_group_size : kBatchGroupSize,
-          problem.World(), metrics);
+          problem.World(), config.shared_stream_grid, metrics);
     case DiscoveryBackend::kRTreeGrouped:
       return std::make_unique<GroupedNnSource>(db->tree(), problem.providers,
                                                config.ann_group_size, problem.World());

@@ -48,9 +48,17 @@ class SspaSolver {
     // The grid serves two masters: ring-ordered discovery (use_grid) and
     // the per-cell tau floors (use_cell_floors — which the dense fallback
     // also uses to partition its scan). Legacy dense (both off) stays
-    // index-free.
+    // index-free. A caller-owned shared grid (config.shared_grid) replaces
+    // the private build; everything mutable (tau floors, cursors, sweeps)
+    // stays per-solve.
     if ((config_.use_grid || config_.use_cell_floors) && np_ > 0) {
-      grid_ = std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
+      if (config_.shared_grid != nullptr) {
+        grid_ = config_.shared_grid;
+      } else {
+        owned_grid_ =
+            std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
+        grid_ = owned_grid_.get();
+      }
       if (config_.use_cell_floors) tau_floors_ = std::make_unique<CellTauTable>(*grid_);
     }
     if (config_.use_grid && np_ > 0) {
@@ -249,12 +257,17 @@ class SspaSolver {
     const double base = alpha_[q] - tau_q_[q];
     for (const std::int32_t cell : grid_->nonempty_cells()) {
       const auto c = static_cast<std::size_t>(cell);
+      // Every occupied cell is examined on every pop; that exhaustive walk
+      // is the dense fallback's defining cost and gets its own counter.
+      // `cells_pruned` stays reserved for the ring path, where a pruned
+      // cell is an actual early-exit win rather than the common case —
+      // folding these walks in there used to inflate it ~10000x.
+      ++metrics->dense_cells_checked;
       const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
       const double bound =
           MinDist(q_pos, grid_->CellRect(c)) + base + tau_floors_->CellFloor(c);
       if (std::max(bound, alpha_[q]) >= sink_ub) {
         metrics->relaxes_pruned += grid_->cell_end(c) - grid_->cell_begin(c);
-        ++metrics->cells_pruned;
         continue;
       }
       RelaxSliceSelect(q, q_pos, grid_->Cell(c), base, metrics);
@@ -494,7 +507,8 @@ class SspaSolver {
   std::size_t np_;
   bool unit_customers_;
   PointsSoA coords_;  // legacy dense mode only, built lazily
-  std::unique_ptr<UniformGrid> grid_;
+  std::unique_ptr<UniformGrid> owned_grid_;  // null when borrowing config_.shared_grid
+  const UniformGrid* grid_ = nullptr;
   std::unique_ptr<CellTauTable> tau_floors_;        // use_cell_floors mode
   std::unique_ptr<GridRingCursor> relax_cursor_;    // reset per provider pop
   std::unique_ptr<SharedCellSweep> shared_sweep_;  // use_shared_frontier mode

@@ -34,6 +34,8 @@
 
 namespace cca {
 
+class UniformGrid;
+
 struct SspaConfig {
   // Pull relax candidates from the uniform grid with ring lower-bound early
   // exit. Off = dense scan of every customer on every provider pop (which
@@ -70,6 +72,13 @@ struct SspaConfig {
   // silently falls back to the private per-solver cursor (identical relax
   // trajectory, zero shared-frontier metrics). Set to 0 to force the sweep.
   std::size_t shared_frontier_min_customers = 256;
+  // Prebuilt grid for the relax scans, owned by the caller (the runtime's
+  // SharedIndex shares one across concurrent queries). Must cover the same
+  // customers at the resolution grid_target_per_cell would produce; null
+  // means each solve builds a private grid. Only the grid geometry is
+  // shared — per-query mutable state (tau floors, cursors, sweeps) stays
+  // private to the solve either way.
+  const UniformGrid* shared_grid = nullptr;
 };
 
 struct SspaResult {

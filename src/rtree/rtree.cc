@@ -7,26 +7,62 @@
 #include <queue>
 
 namespace cca {
+namespace {
+
+// Per-thread page-size I/O buffer: ReadNode must not share scratch space
+// across threads (concurrent queries traverse one tree), and a per-call
+// heap allocation on the node-access hot path would be pure overhead.
+std::vector<std::uint8_t>& TlsScratch(std::uint32_t page_size) {
+  thread_local std::vector<std::uint8_t> scratch;
+  if (scratch.size() < page_size) scratch.resize(page_size);
+  return scratch;
+}
+
+// Top of the calling thread's ScopedIoTally stack.
+thread_local ScopedIoTally* tls_tally_top = nullptr;
+
+}  // namespace
+
+ScopedIoTally::ScopedIoTally(const RTree* tree, RTreeIoTally* tally)
+    : tree_(tree), tally_(tally), parent_(tls_tally_top) {
+  if (tree_ != nullptr) tls_tally_top = this;
+}
+
+ScopedIoTally::~ScopedIoTally() { Detach(); }
+
+void ScopedIoTally::Detach() {
+  if (tree_ == nullptr) return;
+  assert(tls_tally_top == this && "ScopedIoTally must detach in LIFO order");
+  tls_tally_top = parent_;
+  tree_ = nullptr;
+}
 
 RTree::RTree() : RTree(Options{}) {}
 
 RTree::RTree(const Options& options)
-    : options_(options),
-      file_(options.page_size),
-      buffer_(&file_, options.buffer_pages),
-      scratch_(options.page_size) {}
+    : options_(options), file_(options.page_size), buffer_(&file_, options.buffer_pages) {}
 
 RTree::~RTree() = default;
 
 RTreeNode RTree::ReadNode(PageId id) {
-  ++node_accesses_;
-  buffer_.ReadPage(id, scratch_.data());
-  return RTreeNode::Deserialize(scratch_.data(), options_.page_size);
+  node_accesses_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t>& scratch = TlsScratch(options_.page_size);
+  const bool faulted = buffer_.ReadPage(id, scratch.data());
+  // Attribute the access (and its fault verdict) to every tally this
+  // thread has registered for this tree — nested scopes all see it.
+  for (ScopedIoTally* s = tls_tally_top; s != nullptr; s = s->parent_) {
+    if (s->tree_ == this) {
+      ++s->tally_->node_accesses;
+      if (faulted) ++s->tally_->page_faults;
+    }
+  }
+  return RTreeNode::Deserialize(scratch.data(), options_.page_size);
 }
 
 void RTree::WriteNode(PageId id, const RTreeNode& node) {
-  node.Serialize(scratch_.data(), options_.page_size);
-  buffer_.WritePage(id, scratch_.data());
+  std::vector<std::uint8_t>& scratch = TlsScratch(options_.page_size);
+  node.Serialize(scratch.data(), options_.page_size);
+  buffer_.WritePage(id, scratch.data());
 }
 
 void RTree::SetBufferFraction(double fraction) {
@@ -37,7 +73,7 @@ void RTree::SetBufferFraction(double fraction) {
 }
 
 void RTree::ResetCounters() {
-  node_accesses_ = 0;
+  node_accesses_.store(0, std::memory_order_relaxed);
   buffer_.ResetStats();
   file_.ResetStats();
 }

@@ -16,6 +16,7 @@
 #ifndef CCA_RTREE_RTREE_H_
 #define CCA_RTREE_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,44 @@
 #include "storage/page_file.h"
 
 namespace cca {
+
+class RTree;
+
+// Per-query I/O attribution for concurrent R-tree reads. The legacy
+// accounting (IoScope snapshot-diffing the tree's global counters) breaks
+// the moment two queries traverse one tree at once: each diff would charge
+// the other query's work too. A tally is instead registered on the
+// *current thread* for one specific tree; every ReadNode on that thread
+// and tree then bumps it (plus its fault verdict), so a query that runs
+// entirely on one worker thread — the runtime's execution model — gets
+// exactly its own node accesses and page faults, no matter how many other
+// threads hammer the same tree. Tallies nest LIFO per thread (outer scopes
+// see inner scopes' work, the IoScope contract).
+struct RTreeIoTally {
+  std::uint64_t node_accesses = 0;
+  std::uint64_t page_faults = 0;
+};
+
+class ScopedIoTally {
+ public:
+  // Registers `tally` for reads of `tree` on the calling thread; a null
+  // tree makes the scope a no-op. Must be detached/destroyed on the same
+  // thread, in LIFO order.
+  ScopedIoTally(const RTree* tree, RTreeIoTally* tally);
+  ~ScopedIoTally();
+
+  ScopedIoTally(const ScopedIoTally&) = delete;
+  ScopedIoTally& operator=(const ScopedIoTally&) = delete;
+
+  // Stops counting early (idempotent).
+  void Detach();
+
+ private:
+  friend class RTree;
+  const RTree* tree_;
+  RTreeIoTally* tally_;
+  ScopedIoTally* parent_;  // previous top of this thread's tally stack
+};
 
 class RTree {
  public:
@@ -100,6 +139,11 @@ class RTree {
   const Options& options() const { return options_; }
 
   // Reads and deserialises a node (counted as one logical node access).
+  // Safe to call from multiple threads concurrently: the buffer pool
+  // serializes page reads, the access counter is atomic, the scratch
+  // buffer is thread-local, and the fault verdict is attributed to the
+  // calling thread's registered tallies (ScopedIoTally above). Tree
+  // *mutation* (Insert, bulk load) remains single-threaded.
   RTreeNode ReadNode(PageId id);
 
   // Serialises `node` into page `id`.
@@ -111,7 +155,9 @@ class RTree {
   void SetBufferFraction(double fraction);
 
   BufferPool& buffer() { return buffer_; }
-  std::uint64_t node_accesses() const { return node_accesses_; }
+  std::uint64_t node_accesses() const {
+    return node_accesses_.load(std::memory_order_relaxed);
+  }
   void ResetCounters();
 
   // Validates structural invariants (MBR containment, aggregate counts,
@@ -159,8 +205,7 @@ class RTree {
   PageId root_ = kInvalidPage;
   int height_ = 0;  // number of levels; 0 = empty, 1 = root is a leaf
   std::size_t size_ = 0;
-  std::uint64_t node_accesses_ = 0;
-  std::vector<std::uint8_t> scratch_;  // page-size I/O buffer
+  std::atomic<std::uint64_t> node_accesses_{0};
 };
 
 }  // namespace cca

@@ -26,12 +26,13 @@ BufferPool::Frame* BufferPool::Install(PageId id) {
   return &lru_.front();
 }
 
-void BufferPool::ReadPage(PageId id, std::uint8_t* out) {
+bool BufferPool::ReadPage(PageId id, std::uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.logical_reads;
   if (Frame* f = Touch(id)) {
     ++stats_.hits;
     std::memcpy(out, f->data.data(), file_->page_size());
-    return;
+    return false;
   }
   ++stats_.faults;
   if (Frame* f = Install(id)) {
@@ -40,9 +41,11 @@ void BufferPool::ReadPage(PageId id, std::uint8_t* out) {
   } else {
     file_->Read(id, out);
   }
+  return true;
 }
 
 void BufferPool::WritePage(PageId id, const std::uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.writes;
   file_->Write(id, data);
   if (Frame* f = Touch(id)) {
@@ -51,6 +54,7 @@ void BufferPool::WritePage(PageId id, const std::uint8_t* data) {
 }
 
 void BufferPool::SetCapacity(std::uint32_t capacity_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity_pages;
   while (lru_.size() > capacity_) {
     map_.erase(lru_.back().id);
@@ -58,9 +62,25 @@ void BufferPool::SetCapacity(std::uint32_t capacity_pages) {
   }
 }
 
+std::uint32_t BufferPool::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
 }
 
 }  // namespace cca

@@ -5,11 +5,23 @@
 // fault* and is charged 10 ms of simulated I/O time. The pool is
 // write-through: node writes go straight to the PageFile and update the
 // cached copy, so reads after writes always observe fresh data.
+//
+// Thread safety: every public method is serialized on an internal mutex,
+// so concurrent readers (the runtime's per-query R-tree cursors) share one
+// pool — and one LRU state — safely. The PageFile underneath is only ever
+// touched while that mutex is held (reads on a miss, write-through
+// updates), so it needs no locking of its own; page *allocation* remains a
+// build-time, single-threaded operation (see src/core/README.md for the
+// full concurrency contract). Structural mutations (SetCapacity, Clear)
+// are setup-time operations: they are mutex-safe too, but calling them
+// while queries are in flight changes which reads fault, so the runtime
+// never does.
 #ifndef CCA_STORAGE_BUFFER_POOL_H_
 #define CCA_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,21 +49,28 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Reads a page through the cache into `out` (page_size bytes).
-  void ReadPage(PageId id, std::uint8_t* out);
+  // Reads a page through the cache into `out` (page_size bytes). Returns
+  // true when the read faulted (missed the buffer and hit the PageFile) —
+  // the per-call fault verdict callers need to attribute I/O to the query
+  // that caused it (RTree::ReadNode feeds it into the thread-local
+  // ScopedIoTally chain; the aggregate stats() count stays monotone
+  // either way).
+  bool ReadPage(PageId id, std::uint8_t* out);
 
   // Write-through page update.
   void WritePage(PageId id, const std::uint8_t* data);
 
   // Resizes the pool, evicting LRU pages if shrinking.
   void SetCapacity(std::uint32_t capacity_pages);
-  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t capacity() const;
 
   // Drops all cached pages (stats are kept).
   void Clear();
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  // Snapshot of the counters (by value: under concurrency a reference
+  // would tear mid-read).
+  Stats stats() const;
+  void ResetStats();
 
   PageFile* file() { return file_; }
 
@@ -62,8 +81,10 @@ class BufferPool {
   };
 
   // Moves the frame for `id` to the MRU position; returns nullptr on miss.
+  // Callers hold mu_.
   Frame* Touch(PageId id);
-  // Inserts a frame for `id`, evicting the LRU frame when full.
+  // Inserts a frame for `id`, evicting the LRU frame when full. Callers
+  // hold mu_.
   Frame* Install(PageId id);
 
   PageFile* file_;
@@ -71,6 +92,7 @@ class BufferPool {
   std::list<Frame> lru_;  // front = most recently used
   std::unordered_map<PageId, std::list<Frame>::iterator> map_;
   Stats stats_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace cca

@@ -34,6 +34,33 @@ TEST(MetricsTest, AccumulateAddsEverything) {
   EXPECT_DOUBLE_EQ(a.cpu_millis, 7.0);
 }
 
+TEST(MetricsTest, MergeAndPlusEqualsMatchAccumulate) {
+  Metrics a, b;
+  a.dijkstra_pops = 4;
+  a.dense_cells_checked = 9;
+  b.dijkstra_pops = 6;
+  b.dense_cells_checked = 1;
+  b.augmentations = 2;
+  Metrics via_merge = a;
+  via_merge.Merge(b);
+  Metrics via_plus = a;
+  via_plus += b;
+  EXPECT_EQ(via_merge.dijkstra_pops, 10u);
+  EXPECT_EQ(via_merge.dense_cells_checked, 10u);
+  EXPECT_EQ(via_merge.augmentations, 2u);
+  EXPECT_EQ(via_plus.dijkstra_pops, via_merge.dijkstra_pops);
+  EXPECT_EQ(via_plus.dense_cells_checked, via_merge.dense_cells_checked);
+  EXPECT_EQ(via_plus.augmentations, via_merge.augmentations);
+}
+
+TEST(MetricsTest, PlusEqualsChains) {
+  Metrics total, q1, q2;
+  q1.page_faults = 2;
+  q2.page_faults = 3;
+  (total += q1) += q2;
+  EXPECT_EQ(total.page_faults, 5u);
+}
+
 TEST(MetricsTest, ResetClears) {
   Metrics m;
   m.edges_inserted = 5;

@@ -29,7 +29,9 @@ import argparse
 import json
 import sys
 
-ID_KEYS = ("n_q", "n_p", "k", "mode", "setting", "algo")
+ID_KEYS = ("n_q", "n_p", "k", "mode", "setting", "algo",
+           # bench_engine_qps rows: mixed-workload batches per thread count.
+           "workload", "queries", "threads")
 COUNTER_KEYS = (
     "relaxes",
     "pops",
@@ -46,6 +48,9 @@ COUNTER_KEYS = (
     "node_accesses",
     "index_node_accesses",
     "nn_searches",
+    # Exact solvers run a fixed number of augmentations per instance; any
+    # drift is a correctness bug, not a perf trade (bench_engine_qps rows).
+    "augmentations",
 )
 
 
