@@ -5,14 +5,15 @@
 // problem sizes.
 //
 // Prints a human-readable table and writes a machine-readable
-// `BENCH_sspa.json` (array of runs: n_q, n_p, k, mode, relaxes, pruned,
-// distances_computed, cells_pruned, pops, rings, cells, millis, cost) so
-// successive PRs can track the perf trajectory — CI gates the
-// distances_computed column via tools/bench_diff.py so the relax scan's
+// `BENCH_sspa.json` (array of runs: n_q, n_p, k, mode, dist, relaxes,
+// pruned, distances_computed, cells_pruned, pops, rings, cells, coarse
+// tail/descent counters, millis, cost) so successive PRs can track the
+// perf trajectory — CI gates the distances_computed column (and the
+// hierarchical-grid counters) via tools/bench_diff.py so the relax scan's
 // quadratic distance term cannot silently regress. Usage:
 //
 //   bench_micro_flow [--out BENCH_sspa.json] [--max-np N] [--dense-max-np N]
-//                    [--threads N] [--repeat R]
+//                    [--threads N] [--repeat R] [--best-of B]
 //
 // --dense-max-np caps the sizes the dense baseline is run at (the dense
 // scan is quadratic; the default still covers the 10k-customer point the
@@ -20,7 +21,17 @@
 // and --threads drives the replicas through the concurrent QueryRunner
 // (src/runtime) over one shared grid; reported counters stay per-solve
 // (replicas are bit-identical), and a throughput line is printed per run.
-// The defaults (1/1) keep the legacy direct-solve path.
+// The defaults (1/1) keep the legacy direct-solve path. --best-of B
+// (default 3) re-runs every direct solve B times and reports the minimum
+// wall clock — counters are deterministic, the clock is not, and the
+// hierarchy-vs-flat comparisons below are wall-clock claims.
+//
+// Workloads: the uniform sweep covers the historical size trajectory; on
+// top of it the 10k-customer shape is re-run under clustered and skewed
+// customer distributions with an explicit hierarchy-off row ("grid-flat")
+// so BENCH_sspa.json records the adaptive hierarchy's skew win next to
+// the flat-grid cost it must bit-match.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "flow/sspa.h"
 #include "gen/generator.h"
@@ -35,7 +47,30 @@
 
 namespace {
 
-cca::Problem MakeUniformProblem(std::size_t nq, std::size_t np, std::int32_t k) {
+// Skewed customers: 90% of the mass packed into a small hot rectangle at
+// the origin, the rest uniform over the [0,1000]^2 world. This is the
+// adversarial case for a flat uniform grid (one cell region holds nearly
+// everything) and the case the hierarchy's per-region split targets.
+// Mirrors tests/test_util.h SkewedPoints; benches cannot include tests/.
+std::vector<cca::Point> SkewedPoints(std::size_t n, std::uint64_t seed) {
+  cca::Rng rng(seed);
+  std::vector<cca::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.9) {
+      pts.push_back(cca::Point{rng.Uniform(0.0, 80.0), rng.Uniform(0.0, 50.0)});
+    } else {
+      pts.push_back(cca::Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
+    }
+  }
+  return pts;
+}
+
+// Builds the benchmark instance for one (shape, distribution) pair.
+// `dist` is "uniform" or "clustered" (both via the road-network generator,
+// seeds 5/6 as always) or "skewed" (uniform providers over skewed
+// customers — providers everywhere, demand packed into the hot box).
+cca::Problem MakeBenchProblem(std::size_t nq, std::size_t np, std::int32_t k, const char* dist) {
   static cca::RoadNetwork net = cca::DefaultNetwork(99);
   cca::DatasetSpec q_spec;
   q_spec.count = nq;
@@ -45,7 +80,15 @@ cca::Problem MakeUniformProblem(std::size_t nq, std::size_t np, std::int32_t k) 
   p_spec.count = np;
   p_spec.seed = 6;
   p_spec.distribution = cca::PointDistribution::kUniform;
-  return cca::MakeProblem(net, q_spec, p_spec, cca::FixedCapacities(nq, k));
+  if (std::strcmp(dist, "clustered") == 0) {
+    q_spec.distribution = cca::PointDistribution::kClustered;
+    p_spec.distribution = cca::PointDistribution::kClustered;
+  }
+  cca::Problem problem = cca::MakeProblem(net, q_spec, p_spec, cca::FixedCapacities(nq, k));
+  if (std::strcmp(dist, "skewed") == 0) {
+    problem.customers = SkewedPoints(np, /*seed=*/6);
+  }
+  return problem;
 }
 
 struct Run {
@@ -53,13 +96,14 @@ struct Run {
   std::size_t np;
   std::int32_t k;
   const char* mode;
+  const char* dist;
   cca::SspaResult result;
 };
 
 void PrintRow(const Run& r) {
-  std::printf("%6zu %8zu %4d %-6s %14llu %14llu %12llu %12llu %10llu %10llu %10llu %10llu %10.1f "
-              "%12.1f\n",
-              r.nq, r.np, r.k, r.mode,
+  std::printf("%6zu %8zu %4d %-9s %-9s %14llu %14llu %12llu %12llu %10llu %10llu %10llu %10llu "
+              "%8llu %8llu %10.1f %12.1f\n",
+              r.nq, r.np, r.k, r.mode, r.dist,
               static_cast<unsigned long long>(r.result.metrics.dijkstra_relaxes),
               static_cast<unsigned long long>(r.result.metrics.relaxes_pruned),
               static_cast<unsigned long long>(r.result.metrics.distances_computed),
@@ -68,17 +112,38 @@ void PrintRow(const Run& r) {
               static_cast<unsigned long long>(r.result.metrics.grid_cursor_cells),
               static_cast<unsigned long long>(r.result.metrics.cells_pruned),
               static_cast<unsigned long long>(r.result.metrics.dense_cells_checked),
+              static_cast<unsigned long long>(r.result.metrics.coarse_tails_pruned),
+              static_cast<unsigned long long>(r.result.metrics.coarse_cells_descended),
               r.result.metrics.cpu_millis, r.result.matching.cost());
   std::fflush(stdout);
 }
 
-// Runs `config` once directly (threads == 1, repeat == 1: the legacy exact
-// path) or as `repeat` replicas through a QueryRunner over `index`. The
-// returned result is the first replica's (all replicas are bit-identical —
-// the runner's determinism contract); throughput is printed per run.
+// Runs `config` directly (threads == 1, repeat == 1: the legacy exact
+// path, re-timed best-of-`best_of`) or as `repeat` replicas through a
+// QueryRunner over `index`. The returned result is the first replica's
+// (all replicas are bit-identical — the runner's determinism contract);
+// throughput is printed per run.
 cca::SspaResult RunSspa(const cca::Problem& problem, const cca::SspaConfig& config,
-                        const cca::SharedIndex& index, std::size_t threads, std::size_t repeat) {
-  if (threads <= 1 && repeat <= 1) return cca::SolveSspa(problem, config);
+                        const cca::SharedIndex& index, std::size_t threads, std::size_t repeat,
+                        std::size_t best_of) {
+  if (threads <= 1 && repeat <= 1) {
+    // Best-of-N: keep the first solve's counters (deterministic re-runs of
+    // the same code, so every repetition agrees — enforced below) and the
+    // minimum wall clock across repetitions (the only noisy column).
+    cca::SspaResult result = cca::SolveSspa(problem, config);
+    for (std::size_t rep = 1; rep < best_of; ++rep) {
+      cca::SspaResult again = cca::SolveSspa(problem, config);
+      if (std::abs(again.matching.cost() - result.matching.cost()) >
+              1e-9 * std::max(1.0, result.matching.cost()) ||
+          again.metrics.dijkstra_pops != result.metrics.dijkstra_pops ||
+          again.metrics.augmentations != result.metrics.augmentations) {
+        std::fprintf(stderr, "NONDETERMINISTIC SOLVE across best-of repetitions\n");
+        std::exit(1);
+      }
+      result.metrics.cpu_millis = std::min(result.metrics.cpu_millis, again.metrics.cpu_millis);
+    }
+    return result;
+  }
   std::vector<cca::QuerySpec> batch(repeat);
   for (auto& spec : batch) {
     spec.solver = cca::QuerySolver::kSspa;
@@ -110,19 +175,24 @@ void WriteJson(const std::vector<Run>& runs, const std::string& path) {
     const Run& r = runs[i];
     const auto& m = r.result.metrics;
     std::fprintf(f,
-                 "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", "
+                 "  {\"n_q\": %zu, \"n_p\": %zu, \"k\": %d, \"mode\": \"%s\", \"dist\": \"%s\", "
                  "\"relaxes\": %llu, \"relaxes_pruned\": %llu, "
                  "\"distances_computed\": %llu, \"cells_pruned\": %llu, "
-                 "\"dense_cells_checked\": %llu, \"pops\": %llu, "
+                 "\"dense_cells_checked\": %llu, \"coarse_tails_pruned\": %llu, "
+                 "\"coarse_cells_descended\": %llu, \"hier_splits\": %llu, \"pops\": %llu, "
                  "\"grid_rings_scanned\": %llu, \"grid_cursor_cells\": %llu, "
                  "\"shared_frontier_cell_fetches\": %llu, \"shared_frontier_fanout\": %llu, "
                  "\"augmentations\": %llu, "
                  "\"millis\": %.3f, \"cost\": %.3f}%s\n",
-                 r.nq, r.np, r.k, r.mode, static_cast<unsigned long long>(m.dijkstra_relaxes),
+                 r.nq, r.np, r.k, r.mode, r.dist,
+                 static_cast<unsigned long long>(m.dijkstra_relaxes),
                  static_cast<unsigned long long>(m.relaxes_pruned),
                  static_cast<unsigned long long>(m.distances_computed),
                  static_cast<unsigned long long>(m.cells_pruned),
                  static_cast<unsigned long long>(m.dense_cells_checked),
+                 static_cast<unsigned long long>(m.coarse_tails_pruned),
+                 static_cast<unsigned long long>(m.coarse_cells_descended),
+                 static_cast<unsigned long long>(m.hier_splits),
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.grid_rings_scanned),
                  static_cast<unsigned long long>(m.grid_cursor_cells),
@@ -144,6 +214,7 @@ int main(int argc, char** argv) {
   std::size_t dense_max_np = 10000;
   std::size_t threads = 1;
   std::size_t repeat = 1;
+  std::size_t best_of = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -163,14 +234,17 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (flag == "--repeat") {
       repeat = static_cast<std::size_t>(std::atoll(next()));
+    } else if (flag == "--best-of") {
+      best_of = static_cast<std::size_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr,
                    "usage: bench_micro_flow [--out FILE] [--max-np N] [--dense-max-np N] "
-                   "[--threads N] [--repeat R]\n");
+                   "[--threads N] [--repeat R] [--best-of B]\n");
       return 2;
     }
   }
   if (repeat < 1) repeat = 1;
+  if (best_of < 1) best_of = 1;
   if (threads > 1 && repeat == 1) repeat = threads;  // give the pool work to share
 
   struct Shape {
@@ -182,13 +256,13 @@ int main(int argc, char** argv) {
       {50, 5000, 40}, {100, 10000, 40}, {100, 20000, 80},
   };
 
-  std::printf("%6s %8s %4s %-6s %14s %14s %12s %12s %10s %10s %10s %10s %10s %12s\n", "nq", "np",
-              "k", "mode", "relaxes", "pruned", "distances", "pops", "rings", "cells", "cellspr",
-              "densechk", "millis", "cost");
+  std::printf("%6s %8s %4s %-9s %-9s %14s %14s %12s %12s %10s %10s %10s %10s %8s %8s %10s %12s\n",
+              "nq", "np", "k", "mode", "dist", "relaxes", "pruned", "distances", "pops", "rings",
+              "cells", "cellspr", "densechk", "ctailpr", "cdesc", "millis", "cost");
   std::vector<Run> runs;
   for (const Shape& s : shapes) {
     if (s.np > max_np) continue;
-    const cca::Problem problem = MakeUniformProblem(s.nq, s.np, s.k);
+    const cca::Problem problem = MakeBenchProblem(s.nq, s.np, s.k, "uniform");
     // Shared read-only relax grid for the runner path (SSPA never touches
     // the R-tree, so skip the bulk load).
     cca::SharedIndex::Options index_options;
@@ -196,7 +270,8 @@ int main(int argc, char** argv) {
     const cca::SharedIndex index(problem.customers, index_options);
     cca::SspaConfig grid_config;
     grid_config.use_grid = true;
-    runs.push_back(Run{s.nq, s.np, s.k, "grid", RunSspa(problem, grid_config, index, threads, repeat)});
+    runs.push_back(Run{s.nq, s.np, s.k, "grid", "uniform",
+                       RunSspa(problem, grid_config, index, threads, repeat, best_of)});
     const std::size_t grid_run = runs.size() - 1;
     PrintRow(runs.back());
     {
@@ -205,8 +280,8 @@ int main(int argc, char** argv) {
       cca::SspaConfig shared_config;
       shared_config.use_grid = true;
       shared_config.use_shared_frontier = true;
-      runs.push_back(
-          Run{s.nq, s.np, s.k, "shared", RunSspa(problem, shared_config, index, threads, repeat)});
+      runs.push_back(Run{s.nq, s.np, s.k, "shared", "uniform",
+                         RunSspa(problem, shared_config, index, threads, repeat, best_of)});
       PrintRow(runs.back());
       const Run& g = runs[grid_run];
       const Run& sh = runs[runs.size() - 1];
@@ -220,8 +295,8 @@ int main(int argc, char** argv) {
     if (s.np <= dense_max_np) {
       cca::SspaConfig dense_config;
       dense_config.use_grid = false;
-      runs.push_back(
-          Run{s.nq, s.np, s.k, "dense", RunSspa(problem, dense_config, index, threads, repeat)});
+      runs.push_back(Run{s.nq, s.np, s.k, "dense", "uniform",
+                         RunSspa(problem, dense_config, index, threads, repeat, best_of)});
       PrintRow(runs.back());
       const Run& g = runs[grid_run];
       const Run& d = runs[runs.size() - 1];
@@ -229,6 +304,58 @@ int main(int argc, char** argv) {
               1e-6 * std::max(1.0, d.result.matching.cost())) {
         std::fprintf(stderr, "COST MISMATCH grid=%.6f dense=%.6f at nq=%zu np=%zu\n",
                      g.result.matching.cost(), d.result.matching.cost(), s.nq, s.np);
+        return 1;
+      }
+    }
+  }
+
+  // Non-uniform workloads at the acceptance shape: the hierarchy's
+  // adaptive split only matters when occupancy is uneven, so these rows
+  // carry the skew win BENCH_sspa.json is gated on. "grid" runs the
+  // default hierarchical relax; "grid-flat" pins use_hierarchy off — the
+  // A/B pair must agree on cost/pops/augmentations exactly (the coarse
+  // bound is certified never to change the trajectory), and on skewed
+  // data the hierarchical row must win wall clock.
+  const Shape skew_shape{100, 10000, 40};
+  if (skew_shape.np <= max_np) {
+    for (const char* dist : {"clustered", "skewed"}) {
+      const cca::Problem problem =
+          MakeBenchProblem(skew_shape.nq, skew_shape.np, skew_shape.k, dist);
+      cca::SharedIndex::Options index_options;
+      index_options.build_customer_db = false;
+      const cca::SharedIndex index(problem.customers, index_options);
+      cca::SspaConfig grid_config;
+      grid_config.use_grid = true;
+      runs.push_back(Run{skew_shape.nq, skew_shape.np, skew_shape.k, "grid", dist,
+                         RunSspa(problem, grid_config, index, threads, repeat, best_of)});
+      const std::size_t hier_run = runs.size() - 1;
+      PrintRow(runs.back());
+      cca::SspaConfig flat_config;
+      flat_config.use_grid = true;
+      flat_config.use_hierarchy = false;
+      runs.push_back(Run{skew_shape.nq, skew_shape.np, skew_shape.k, "grid-flat", dist,
+                         RunSspa(problem, flat_config, index, threads, repeat, best_of)});
+      const std::size_t flat_run = runs.size() - 1;
+      PrintRow(runs.back());
+      const Run& hier = runs[hier_run];
+      const Run& flat = runs[flat_run];
+      const double flat_cost = flat.result.matching.cost();
+      if (std::abs(hier.result.matching.cost() - flat_cost) >
+              1e-6 * std::max(1.0, flat_cost) ||
+          hier.result.metrics.dijkstra_pops != flat.result.metrics.dijkstra_pops ||
+          hier.result.metrics.augmentations != flat.result.metrics.augmentations) {
+        std::fprintf(stderr, "HIERARCHY MISMATCH vs flat grid on %s data\n", dist);
+        return 1;
+      }
+      cca::SspaConfig shared_config;
+      shared_config.use_grid = true;
+      shared_config.use_shared_frontier = true;
+      runs.push_back(Run{skew_shape.nq, skew_shape.np, skew_shape.k, "shared", dist,
+                         RunSspa(problem, shared_config, index, threads, repeat, best_of)});
+      PrintRow(runs.back());
+      if (std::abs(runs.back().result.matching.cost() - flat_cost) >
+          1e-6 * std::max(1.0, flat_cost)) {
+        std::fprintf(stderr, "SHARED-FRONTIER MISMATCH on %s data\n", dist);
         return 1;
       }
     }

@@ -6,6 +6,7 @@
 //   cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]
 //           [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]
 //           [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]
+//           [--no-hierarchy] [--hier-split-threshold N]
 //           [--backend auto|rtree|ann|grid|grid-batched]
 //           [--threads N] [--repeat R]
 //
@@ -20,6 +21,12 @@
 // --no-cell-floors disables SSPA's per-cell tau floors and the fused
 // early-reject distance kernel (SspaConfig::use_cell_floors), falling back
 // to the legacy global-floor pruning — the second A/B axis.
+// --no-hierarchy drops SSPA from the two-level hierarchical grid (the
+// default, with --no-cell-floors off) to the flat grid — the third A/B
+// axis; --hier-split-threshold N overrides the coarse-cell occupancy above
+// which the hierarchy splits a cell into finer children (0 = auto). Both
+// are SSPA-only (and meaningless without cell floors), so other solvers —
+// and --no-cell-floors runs — reject them.
 // --backend selects the candidate-discovery backend of the exact solvers:
 // independent R-tree NN iterators, the grouped ANN traversal, grid ring
 // cursors over the memory-resident customer array, or the batched shared
@@ -60,6 +67,10 @@ struct Args {
   bool use_ann = true;
   bool dense_sspa = false;
   bool cell_floors = true;
+  bool hierarchy = true;
+  bool hierarchy_flag_given = false;       // --no-hierarchy on the command line
+  bool split_threshold_given = false;      // --hier-split-threshold on the command line
+  std::size_t hier_split_threshold = 0;  // 0 = builder auto
   std::string backend = "auto";
   std::size_t threads = 1;
   std::size_t repeat = 1;
@@ -101,6 +112,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->dense_sspa = true;
     } else if (flag == "--no-cell-floors") {
       args->cell_floors = false;
+    } else if (flag == "--no-hierarchy") {
+      args->hierarchy = false;
+      args->hierarchy_flag_given = true;
+    } else if (flag == "--hier-split-threshold") {
+      args->hier_split_threshold = static_cast<std::size_t>(std::atoll(next()));
+      args->split_threshold_given = true;
     } else if (flag == "--backend") {
       args->backend = next();
     } else if (flag == "--threads") {
@@ -127,6 +144,7 @@ int main(int argc, char** argv) {
                  "usage: cca_cli [--solver ida|nia|ria|sspa|greedy|sa|ca] [--nq N] [--np N]\n"
                  "               [--k N] [--delta D] [--theta T] [--dist-q u|c] [--dist-p u|c]\n"
                  "               [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]\n"
+                 "               [--no-hierarchy] [--hier-split-threshold N]\n"
                  "               [--backend auto|rtree|ann|grid|grid-batched]\n"
                  "               [--threads N] [--repeat R]\n");
     return 2;
@@ -168,6 +186,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The hierarchy flags only steer SSPA's relax grid (same pattern as the
+  // --threads validation below: flags a run would silently ignore are hard
+  // errors, not no-ops).
+  if ((args.hierarchy_flag_given || args.split_threshold_given) && args.solver != "sspa") {
+    std::fprintf(stderr, "--no-hierarchy/--hier-split-threshold support --solver sspa only\n");
+    return 2;
+  }
+  if ((args.hierarchy_flag_given || args.split_threshold_given) && !args.cell_floors) {
+    std::fprintf(stderr, "--no-hierarchy/--hier-split-threshold need cell floors: the "
+                         "hierarchy aggregates them, so --no-cell-floors already disables it\n");
+    return 2;
+  }
+  if (args.split_threshold_given && !args.hierarchy) {
+    std::fprintf(stderr, "--hier-split-threshold is meaningless with --no-hierarchy\n");
+    return 2;
+  }
+
   SspaConfig sspa;
   if (args.solver == "sspa") {
     if (args.dense_sspa && args.backend == "grid-batched") {
@@ -177,6 +212,8 @@ int main(int argc, char** argv) {
     }
     sspa.use_grid = !args.dense_sspa;
     sspa.use_cell_floors = args.cell_floors;
+    sspa.use_hierarchy = args.hierarchy;
+    sspa.hier_split_threshold = args.hier_split_threshold;
     sspa.use_shared_frontier = args.backend == "grid-batched";
   }
 
@@ -266,6 +303,11 @@ int main(int argc, char** argv) {
   std::printf("cells_pruned=%llu\n", static_cast<unsigned long long>(metrics.cells_pruned));
   std::printf("dense_cells_checked=%llu\n",
               static_cast<unsigned long long>(metrics.dense_cells_checked));
+  std::printf("coarse_tails_pruned=%llu\n",
+              static_cast<unsigned long long>(metrics.coarse_tails_pruned));
+  std::printf("coarse_cells_descended=%llu\n",
+              static_cast<unsigned long long>(metrics.coarse_cells_descended));
+  std::printf("hier_splits=%llu\n", static_cast<unsigned long long>(metrics.hier_splits));
   std::printf("grid_rings_scanned=%llu\n",
               static_cast<unsigned long long>(metrics.grid_rings_scanned));
   std::printf("node_accesses=%llu\n", static_cast<unsigned long long>(metrics.node_accesses));

@@ -18,6 +18,9 @@ void Metrics::Merge(const Metrics& other) {
   distances_computed += other.distances_computed;
   cells_pruned += other.cells_pruned;
   dense_cells_checked += other.dense_cells_checked;
+  coarse_tails_pruned += other.coarse_tails_pruned;
+  coarse_cells_descended += other.coarse_cells_descended;
+  hier_splits += other.hier_splits;
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;

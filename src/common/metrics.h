@@ -48,7 +48,22 @@ struct Metrics {
   // Deliberately separate from cells_pruned: the dense sweep's O(#cells)
   // bound checks per pop run to hundreds of millions at bench scale and
   // would swamp the grid-mode pruning signal if charged to one counter.
+  // With the hierarchical grid the same counter covers the output-sensitive
+  // sweep: one unit per coarse cell examined plus one per fine child
+  // actually descended into, so the >=10x collapse is visible on one axis.
   std::uint64_t dense_cells_checked = 0;
+  // Hierarchical grid (geo/hier_grid.h): coarse cells whose aggregated
+  // bound (mindist + coarse tau floor) failed the reduced-cost test, so
+  // their entire fine-cell tail exited in O(1)...
+  std::uint64_t coarse_tails_pruned = 0;
+  // ...and coarse cells whose bound survived, paying a descend into their
+  // fine children. descended / (descended + tails_pruned) is the fraction
+  // of the coarse lattice the scan actually opens.
+  std::uint64_t coarse_cells_descended = 0;
+  // Coarse cells the hierarchical build split into finer children (one
+  // count per solve-owned or shared grid consulted; a pure build-shape
+  // diagnostic for the per-region adaptation).
+  std::uint64_t hier_splits = 0;
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served

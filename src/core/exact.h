@@ -26,6 +26,7 @@
 namespace cca {
 
 class UniformGrid;
+class HierarchicalGrid;
 
 // Candidate-discovery backend for the exact solvers (see src/core/README.md
 // for the layer contract). All backends yield cost-identical matchings;
@@ -80,6 +81,18 @@ struct ExactConfig {
   // null means each solve builds (and owns) a private grid. The grid is
   // read-only during solves, so sharing is safe.
   const UniformGrid* shared_stream_grid = nullptr;
+  // kGrid only: serve the NN streams from a two-level HierarchicalGrid
+  // (geo/hier_grid.h) instead of the flat streaming grid — coarse cells
+  // park their occupied children on a mindist heap and a fine cell is
+  // materialised only when its bound is due, so dense far-away regions are
+  // never opened (src/geo/README.md). The stream stays exact and ordered
+  // identically; only the fetch ledger changes. Default OFF so the
+  // paper-figure trajectories keep their flat-grid ledgers; kGridBatched
+  // ignores the flag (the SharedFrontier multiplexer is flat-cell keyed).
+  bool use_hierarchy = false;
+  // Prebuilt hierarchical stream grid, same ownership contract as
+  // shared_stream_grid.
+  const HierarchicalGrid* shared_stream_hier = nullptr;
 };
 
 struct ExactResult {

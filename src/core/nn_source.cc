@@ -5,6 +5,7 @@
 #include "core/customer_db.h"
 #include "geo/grid.h"
 #include "geo/grid_cursor.h"
+#include "geo/hier_grid.h"
 #include "geo/shared_frontier.h"
 #include "rtree/ann_iterator.h"
 #include "rtree/nn_iterator.h"
@@ -118,6 +119,63 @@ class GridNnSource : public NnSource {
   std::vector<GridNnCursor> cursors_;
 };
 
+// Hierarchical flavour of GridNnSource: HierNnCursor streams (coarse ring
+// cursor + fine-cell bound heap) over a two-level grid built at the same
+// streaming resolution (fine cells at the stream target, coarse cells 16x
+// fatter). Exact and ordered identically to GridNnSource; `cells_visited`
+// counts fine materialisations, the ledger unit comparable to flat cell
+// fetches.
+class HierGridNnSource : public NnSource {
+ public:
+  HierGridNnSource(const std::vector<Point>& customers, const std::vector<Provider>& providers,
+                   double target_per_cell, const HierarchicalGrid* shared_hier, Metrics* metrics)
+      : metrics_(metrics) {
+    if (shared_hier != nullptr) {
+      grid_ = shared_hier;
+    } else {
+      HierarchicalGrid::Options opts;
+      opts.fine_target_per_cell = target_per_cell;
+      opts.coarse_target_per_cell = 16.0 * target_per_cell;
+      owned_grid_ = std::make_unique<HierarchicalGrid>(customers, opts);
+      grid_ = owned_grid_.get();
+    }
+    cursors_.reserve(providers.size());
+    for (const auto& q : providers) cursors_.emplace_back(*grid_, q.pos);
+  }
+
+  // Mirrors GridNnSource::Charged (defined before its uses: in-class
+  // `auto` deduction needs the body first).
+  template <typename Op>
+  auto Charged(HierNnCursor* cursor, Op&& op) {
+    const std::uint64_t before = cursor->cells_visited();
+    auto result = op();
+    if (metrics_ != nullptr) {
+      const std::uint64_t cells = cursor->cells_visited() - before;
+      metrics_->grid_cursor_cells += cells;
+      metrics_->index_node_accesses += cells;
+    }
+    return result;
+  }
+
+  std::optional<Hit> NextNN(int q) override {
+    HierNnCursor& cursor = cursors_[static_cast<std::size_t>(q)];
+    const auto next = Charged(&cursor, [&] { return cursor.Next(); });
+    if (!next) return std::nullopt;
+    return Hit{next->first, next->second};
+  }
+
+  double PeekDistance(int q) override {
+    HierNnCursor& cursor = cursors_[static_cast<std::size_t>(q)];
+    return Charged(&cursor, [&] { return cursor.PeekDistance(); });
+  }
+
+ private:
+  std::unique_ptr<HierarchicalGrid> owned_grid_;  // null when borrowing
+  const HierarchicalGrid* grid_ = nullptr;
+  Metrics* metrics_;
+  std::vector<HierNnCursor> cursors_;
+};
+
 // Hilbert-grouped shared frontiers over the grid: one SharedFrontier per
 // group of adjacent providers (FormHilbertGroups, the same run-length
 // grouping the ANN backend uses). Every cell a group fetches is charged
@@ -219,6 +277,11 @@ std::unique_ptr<NnSource> MakeNnSource(CustomerDb* db, const Problem& problem,
                                        const ExactConfig& config, Metrics* metrics) {
   switch (ResolveDiscoveryBackend(config, problem.providers.size())) {
     case DiscoveryBackend::kGrid:
+      if (config.use_hierarchy) {
+        return std::make_unique<HierGridNnSource>(db->points(), problem.providers,
+                                                  ResolveGridTargetPerCell(config),
+                                                  config.shared_stream_hier, metrics);
+      }
       return std::make_unique<GridNnSource>(db->points(), problem.providers,
                                             ResolveGridTargetPerCell(config),
                                             config.shared_stream_grid, metrics);

@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "geo/grid.h"
 #include "geo/grid_cursor.h"
+#include "geo/hier_grid.h"
 #include "geo/shared_frontier.h"
 
 namespace cca {
@@ -45,12 +46,41 @@ class SspaSolver {
         alpha_(nq_ + np_ + 1, kInf),
         prev_(nq_ + np_ + 1, -1),
         heap_(nq_ + np_ + 1) {
-    // The grid serves two masters: ring-ordered discovery (use_grid) and
-    // the per-cell tau floors (use_cell_floors — which the dense fallback
-    // also uses to partition its scan). Legacy dense (both off) stays
-    // index-free. A caller-owned shared grid (config.shared_grid) replaces
-    // the private build; everything mutable (tau floors, cursors, sweeps)
-    // stays per-solve.
+    // The hierarchical grid subsumes the flat one whenever the cell floors
+    // it aggregates exist: with use_cell_floors + use_hierarchy no flat
+    // grid is built at all, and both relax strategies route through the
+    // coarse-over-fine paths. A caller-owned shared grid of either flavour
+    // replaces the private build; everything mutable (tau floors, cursors,
+    // sweeps) stays per-solve.
+    if (config_.use_cell_floors && config_.use_hierarchy && np_ > 0) {
+      if (config_.shared_hier_grid != nullptr) {
+        hier_ = config_.shared_hier_grid;
+      } else {
+        HierarchicalGrid::Options opts;
+        const double fine = config_.grid_target_per_cell > 0.0
+                                ? config_.grid_target_per_cell
+                                : UniformGrid::kDefaultTargetPerCell;
+        opts.fine_target_per_cell = fine;
+        opts.coarse_target_per_cell = 16.0 * fine;
+        opts.split_threshold = config_.hier_split_threshold;
+        owned_hier_ = std::make_unique<HierarchicalGrid>(problem.customers, opts);
+        hier_ = owned_hier_.get();
+      }
+      hier_floors_ = std::make_unique<HierTauTable>(*hier_);
+      if (config_.use_grid) {
+        if (config_.use_shared_frontier && np_ >= config_.shared_frontier_min_customers) {
+          hier_sweep_ = std::make_unique<HierCellSweep>(*hier_);
+        } else {
+          hier_private_ = std::make_unique<PrivateHierSweep>(*hier_);
+        }
+      }
+      return;
+    }
+    // Flat-grid paths (hierarchy off, or floors off so there is nothing to
+    // aggregate): the grid serves two masters, ring-ordered discovery
+    // (use_grid) and the per-cell tau floors (use_cell_floors — which the
+    // dense fallback also uses to partition its scan). Legacy dense (both
+    // off) stays index-free.
     if ((config_.use_grid || config_.use_cell_floors) && np_ > 0) {
       if (config_.shared_grid != nullptr) {
         grid_ = config_.shared_grid;
@@ -74,6 +104,9 @@ class SspaSolver {
     Timer timer;
     SspaResult result;
     result.conceptual_edges = static_cast<std::uint64_t>(nq_) * static_cast<std::uint64_t>(np_);
+    // Build-shape diagnostic: how many coarse cells the (owned or shared)
+    // hierarchy subdivided, charged once per solve that consults it.
+    if (hier_ != nullptr) result.metrics.hier_splits += hier_->splits();
     std::int64_t remaining = problem_.Gamma();
     while (remaining > 0) {
       const double d = Dijkstra(&result.metrics);
@@ -101,14 +134,17 @@ class SspaSolver {
     run_ub_ = kInf;
     std::fill(alpha_.begin(), alpha_.end(), kInf);
     std::fill(prev_.begin(), prev_.end(), -1);
-    if (grid_) {
+    if (grid_ || hier_) {
       // Floor of tau(p) over every customer: together with a ring's
       // geometric mindist it lower-bounds the reduced cost of all edges
       // into the ring. The cell-floor table keeps it current across
       // augmentations (only touched cells were updated, and the cached
       // global min rescans cell floors only when displaced); the legacy
       // path rescans all of tau_p instead.
-      if (tau_floors_) {
+      if (hier_floors_) {
+        min_tau_p_ = hier_floors_->GlobalFloor();
+        assert(np_ == 0 || min_tau_p_ == *std::min_element(tau_p_.begin(), tau_p_.end()));
+      } else if (tau_floors_) {
         min_tau_p_ = tau_floors_->GlobalFloor();
         assert(np_ == 0 || min_tau_p_ == *std::min_element(tau_p_.begin(), tau_p_.end()));
       } else {
@@ -129,7 +165,9 @@ class SspaSolver {
       if (u == Sink()) return key;
       touched_.push_back(u);
       if (static_cast<std::size_t>(u) < nq_) {
-        if (config_.use_grid && grid_) {
+        if (config_.use_grid && hier_) {
+          RelaxProviderHier(static_cast<std::size_t>(u), metrics);
+        } else if (config_.use_grid && grid_) {
           RelaxProviderGrid(static_cast<std::size_t>(u), metrics);
         } else {
           RelaxProviderDense(static_cast<std::size_t>(u), metrics);
@@ -194,11 +232,14 @@ class SspaSolver {
   // never pay a sqrt — and compacts the survivors, which are the only lanes
   // the heap-relax loop below ever touches. The cutoff is re-read per block
   // because run_ub only tightens as survivors complete s~>q->p->t paths.
+  // `tau_values` is the slot-ordered tau array of whichever floor table
+  // clustered the slice (flat CellTauTable or hierarchical HierTauTable —
+  // their slot layouts differ, so the caller picks).
   void RelaxSliceSelect(std::size_t q, const Point& q_pos, const UniformGrid::CellSlice& slice,
-                        double base, Metrics* metrics) {
+                        double base, const double* tau_values, Metrics* metrics) {
     std::int32_t keep[kDistanceBlock];
     double d2[kDistanceBlock];
-    const double* taus = tau_floors_->values() + slice.first_slot;
+    const double* taus = tau_values + slice.first_slot;
     for (std::size_t begin = 0; begin < slice.count; begin += kDistanceBlock) {
       const std::size_t block = std::min(kDistanceBlock, slice.count - begin);
       const double cutoff =
@@ -236,6 +277,10 @@ class SspaSolver {
   }
 
   void RelaxProviderDense(std::size_t q, Metrics* metrics) {
+    if (hier_floors_) {
+      RelaxDenseHier(q, metrics);
+      return;
+    }
     if (tau_floors_) {
       RelaxDenseCells(q, metrics);
       return;
@@ -270,7 +315,49 @@ class SspaSolver {
         metrics->relaxes_pruned += grid_->cell_end(c) - grid_->cell_begin(c);
         continue;
       }
-      RelaxSliceSelect(q, q_pos, grid_->Cell(c), base, metrics);
+      RelaxSliceSelect(q, q_pos, grid_->Cell(c), base, tau_floors_->values(), metrics);
+    }
+  }
+
+  // Output-sensitive dense fallback over the hierarchy: the exhaustive
+  // walk's unit is now a *coarse* cell, and a coarse cell whose aggregated
+  // bound (mindist + coarse tau floor) cannot beat the certified upper
+  // bound retires all of its children in that one check — the walk only
+  // descends to fine granularity where the aggregate survives, collapsing
+  // the flat fallback's O(#cells) term to O(#coarse + opened children).
+  // Both levels charge dense_cells_checked (the per-pop examination unit),
+  // so the flat-vs-hier collapse is visible on one counter axis.
+  void RelaxDenseHier(std::size_t q, Metrics* metrics) {
+    const Point q_pos = problem_.providers[q].pos;
+    const double base = alpha_[q] - tau_q_[q];
+    const HierarchicalGrid& grid = *hier_;
+    for (const std::int32_t cc : grid.nonempty_coarse()) {
+      const auto c = static_cast<std::size_t>(cc);
+      ++metrics->dense_cells_checked;
+      const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+      const double bound =
+          MinDist(q_pos, grid.CoarseRect(c)) + base + hier_floors_->CoarseFloor(c);
+      if (std::max(bound, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += grid.coarse_count(c);
+        ++metrics->coarse_tails_pruned;
+        continue;
+      }
+      ++metrics->coarse_cells_descended;
+      const std::size_t fine_end = grid.fine_end(c);
+      for (std::size_t f = grid.fine_begin(c); f < fine_end; ++f) {
+        const std::size_t count = grid.fine_cell_end(f) - grid.fine_cell_begin(f);
+        if (count == 0) continue;
+        ++metrics->dense_cells_checked;
+        // Re-read per fine cell: relaxing a child can tighten run_ub_.
+        const double fine_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+        const double fine_bound =
+            MinDist(q_pos, grid.FineRect(f)) + base + hier_floors_->FineFloor(f);
+        if (std::max(fine_bound, alpha_[q]) >= fine_ub) {
+          metrics->relaxes_pruned += count;
+          continue;
+        }
+        RelaxSliceSelect(q, q_pos, grid.FineCell(f), base, hier_floors_->values(), metrics);
+      }
     }
   }
 
@@ -342,10 +429,110 @@ class SspaSolver {
         continue;
       }
       if (tau_floors_) {
-        RelaxSliceSelect(q, q_pos, cell->slice, base, metrics);
+        RelaxSliceSelect(q, q_pos, cell->slice, base, tau_floors_->values(), metrics);
       } else {
         RelaxSlice(q, q_pos, cell->slice.ids, cell->slice.xs, cell->slice.ys, cell->slice.count,
                    /*ub_prune=*/false, metrics);
+      }
+    }
+  }
+
+  // Hierarchical ring relax: same outer contract as RelaxProviderGrid, but
+  // the cursor serves *coarse* cells and the charging unit is the fine
+  // cells actually opened — coarse-tail rejections never touch the fetch
+  // ledger (the whole point: rejected regions cost one compare, not s^2).
+  void RelaxProviderHier(std::size_t q, Metrics* metrics) {
+    const Point q_pos = problem_.providers[q].pos;
+    if (hier_sweep_ != nullptr) {
+      hier_sweep_->Reset(q_pos);
+      const SharedFrontierStats before = hier_sweep_->stats();
+      RelaxOverHier(q, q_pos, *hier_sweep_, metrics);
+      const SharedFrontierStats& after = hier_sweep_->stats();
+      const std::uint64_t fetches = after.cell_fetches - before.cell_fetches;
+      metrics->grid_cursor_cells += fetches;
+      metrics->index_node_accesses += fetches;
+      metrics->shared_frontier_cell_fetches += fetches;
+      metrics->shared_frontier_fanout += after.fanout - before.fanout;
+      return;
+    }
+    PrivateHierSweep& sweep = *hier_private_;
+    sweep.Reset(q_pos);
+    RelaxOverHier(q, q_pos, sweep, metrics);
+    metrics->grid_cursor_cells += sweep.fetches;
+    metrics->index_node_accesses += sweep.fetches;
+  }
+
+  // The hierarchical relax scan, generic over the sweep flavour (private
+  // PrivateHierSweep or shared HierCellSweep — both expose TailMinDist /
+  // NextCoarse / points_remaining / ChargeFine). Three nested bounds, each
+  // a certified reduced-cost lower bound so the matchings stay identical
+  // to every other strategy (src/geo/README.md): the coarse ring tail
+  // (global floor), the coarse cell (aggregated coarse floor, the O(1)
+  // tail exit), and the fine cell (its own floor), with the fused kernel
+  // below that.
+  template <typename Sweep>
+  void RelaxOverHier(std::size_t q, const Point& q_pos, Sweep& sweep, Metrics* metrics) {
+    const HierarchicalGrid& grid = *hier_;
+    const double base = alpha_[q] - tau_q_[q];
+    const double slack = base + min_tau_p_;
+    int last_ring = -1;
+    struct FineRef {
+      double min_dist;
+      std::int32_t fine;
+    };
+    FineRef fines[HierarchicalGrid::Options::kMaxSplit * HierarchicalGrid::Options::kMaxSplit];
+    while (true) {
+      // `sink_ub` only shrinks while cells are scanned (run_ub_ picks up
+      // completed s~>t paths), so re-read it per coarse cell.
+      const double sink_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+      if (std::max(sweep.TailMinDist() + slack, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += sweep.points_remaining();
+        break;
+      }
+      const auto coarse = sweep.NextCoarse();
+      if (!coarse) break;
+      if (coarse->ring != last_ring) {
+        last_ring = coarse->ring;
+        ++metrics->grid_rings_scanned;
+      }
+      // The O(1) coarse-tail exit: the aggregated floor bounds every child,
+      // so a failed coarse cell retires all of its residents in one compare
+      // (nothing between the sink_ub read and here tightens run_ub_).
+      const double coarse_bound =
+          coarse->min_dist + base + hier_floors_->CoarseFloor(coarse->cell);
+      if (std::max(coarse_bound, alpha_[q]) >= sink_ub) {
+        metrics->relaxes_pruned += coarse->count;
+        ++metrics->coarse_tails_pruned;
+        continue;
+      }
+      ++metrics->coarse_cells_descended;
+      // Descend: occupied children, nearest-first so run_ub_ tightens off
+      // the close ones before the far ones are bounded (same reason ring
+      // cells are served mindist-sorted). Ties by ascending fine id keep
+      // the scan order deterministic.
+      std::size_t n = 0;
+      for (std::size_t f = coarse->fine_begin; f < coarse->fine_end; ++f) {
+        if (grid.fine_cell_end(f) == grid.fine_cell_begin(f)) continue;
+        fines[n++] = FineRef{MinDist(q_pos, grid.FineRect(f)), static_cast<std::int32_t>(f)};
+      }
+      if (n > 1) {
+        std::sort(fines, fines + n, [](const FineRef& a, const FineRef& b) {
+          return a.min_dist != b.min_dist ? a.min_dist < b.min_dist : a.fine < b.fine;
+        });
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto f = static_cast<std::size_t>(fines[i].fine);
+        const std::size_t count = grid.fine_cell_end(f) - grid.fine_cell_begin(f);
+        // Re-read per fine cell: relaxing a sibling can tighten run_ub_.
+        const double fine_ub = std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_);
+        const double fine_bound = fines[i].min_dist + base + hier_floors_->FineFloor(f);
+        if (std::max(fine_bound, alpha_[q]) >= fine_ub) {
+          metrics->relaxes_pruned += count;
+          ++metrics->cells_pruned;
+          continue;
+        }
+        sweep.ChargeFine(f);
+        RelaxSliceSelect(q, q_pos, grid.FineCell(f), base, hier_floors_->values(), metrics);
       }
     }
   }
@@ -422,9 +609,15 @@ class SspaSolver {
         const std::size_t p = static_cast<std::size_t>(u) - nq_;
         tau_p_[p] += delta;
         // Customer potentials only grow, so the incremental floor update
-        // stays within CellTauTable's monotone contract. Only the touched
-        // cells do any work — this replaced the per-run O(|P|) min rescan.
-        if (tau_floors_) tau_floors_->Raise(p, tau_p_[p]);
+        // stays within the floor tables' monotone contract. Only the
+        // touched cells (and, for the hierarchy, the coarse cells they
+        // cascade into) do any work — this replaced the per-run O(|P|)
+        // min rescan.
+        if (hier_floors_) {
+          hier_floors_->Raise(p, tau_p_[p]);
+        } else if (tau_floors_) {
+          tau_floors_->Raise(p, tau_p_[p]);
+        }
       }
     }
   }
@@ -501,6 +694,23 @@ class SspaSolver {
     std::int64_t units;
   };
 
+  // Private-cursor flavour of the hierarchical sweep: same surface as
+  // HierCellSweep, but with no cross-pop residency every opened fine cell
+  // is a fetch (the exact analogue of GridRingCursor's per-scan charging).
+  struct PrivateHierSweep {
+    explicit PrivateHierSweep(const HierarchicalGrid& grid) : cursor(grid, Point{}) {}
+    void Reset(const Point& query) {
+      cursor.Reset(query);
+      fetches = 0;
+    }
+    double TailMinDist() const { return cursor.TailMinDist(); }
+    std::size_t points_remaining() const { return cursor.points_remaining(); }
+    std::optional<HierRingCursor::CoarseView> NextCoarse() { return cursor.NextCoarse(); }
+    void ChargeFine(std::size_t /*fine*/) { ++fetches; }
+    HierRingCursor cursor;
+    std::uint64_t fetches = 0;
+  };
+
   const Problem& problem_;
   SspaConfig config_;
   std::size_t nq_;
@@ -512,6 +722,11 @@ class SspaSolver {
   std::unique_ptr<CellTauTable> tau_floors_;        // use_cell_floors mode
   std::unique_ptr<GridRingCursor> relax_cursor_;    // reset per provider pop
   std::unique_ptr<SharedCellSweep> shared_sweep_;  // use_shared_frontier mode
+  std::unique_ptr<HierarchicalGrid> owned_hier_;  // null when borrowing shared_hier_grid
+  const HierarchicalGrid* hier_ = nullptr;        // set iff the hierarchy is active
+  std::unique_ptr<HierTauTable> hier_floors_;
+  std::unique_ptr<PrivateHierSweep> hier_private_;  // hier ring scans, private flavour
+  std::unique_ptr<HierCellSweep> hier_sweep_;       // ... shared-frontier flavour
   double min_tau_p_ = 0.0;
   double run_ub_ = kInf;  // best known complete-path cost this Dijkstra run
   std::vector<double> tau_q_;

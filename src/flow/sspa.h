@@ -35,6 +35,7 @@
 namespace cca {
 
 class UniformGrid;
+class HierarchicalGrid;
 
 struct SspaConfig {
   // Pull relax candidates from the uniform grid with ring lower-bound early
@@ -79,6 +80,28 @@ struct SspaConfig {
   // shared — per-query mutable state (tau floors, cursors, sweeps) stays
   // private to the solve either way.
   const UniformGrid* shared_grid = nullptr;
+  // Two-level hierarchical grid (geo/hier_grid.h) instead of the flat one.
+  // Requires use_cell_floors (the hierarchy is the floor table's coarse
+  // aggregation; without floors there is nothing to aggregate, so the flag
+  // silently degrades to the flat paths). When active it upgrades every
+  // relax strategy: the ring scan rejects whole coarse cells against
+  //     mindist(coarse) + coarse tau floor >= min(alpha(t), run_ub)
+  // in O(1) (Metrics::coarse_tails_pruned) and descends into fine children
+  // only when the aggregate survives (coarse_cells_descended); the dense
+  // fallback becomes output-sensitive the same way (its O(#cells) walk
+  // shrinks to O(#coarse + opened children)); and the resolution adapts
+  // per region — overfull coarse cells split finer (hier_splits), where
+  // the flat auto-tuner had to pick one global resolution. Matchings, pop
+  // counts and augmentation counts are identical on/off: the coarse floor
+  // under-estimates its children's floors, so every coarse rejection is a
+  // union of per-cell rejections the flat path already proves sound
+  // (src/geo/README.md). Off = flat grid, the A/B soundness gate.
+  bool use_hierarchy = true;
+  // Coarse-cell occupancy above which the builder splits the cell into
+  // finer children; 0 auto-derives 4x the fine target per cell.
+  std::size_t hier_split_threshold = 0;
+  // Prebuilt hierarchical grid, same ownership contract as shared_grid.
+  const HierarchicalGrid* shared_hier_grid = nullptr;
 };
 
 struct SspaResult {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "geo/grid.h"
+#include "geo/hier_grid.h"
 #include "geo/point.h"
 #include "geo/rect.h"
 
@@ -134,6 +135,116 @@ class GridNnCursor {
 
   GridRingCursor cells_;
   Point query_;
+  std::priority_queue<NnCandidate, std::vector<NnCandidate>, NnCandidateFarther> heap_;
+};
+
+// Coarse-level ring cursor over a HierarchicalGrid (geo/hier_grid.h): the
+// hierarchical sibling of GridRingCursor, enumerating occupied *coarse*
+// cells in expanding coarse rings, nearest-first within a ring. A served
+// CoarseView carries the O(1) aggregates (resident count, fine-child id
+// range); the consumer decides per coarse cell whether to reject its whole
+// tail on the aggregated bound or descend into FineCell() slices — that
+// split is what makes the SSPA coarse-tail exit O(1) per rejected region
+// (see src/geo/README.md). TailMinDist() keeps the GridRingCursor contract:
+// a non-decreasing certified lower bound on dist(query, p) over every point
+// in a coarse cell not yet returned.
+class HierRingCursor {
+ public:
+  struct CoarseView {
+    int cx = 0;
+    int cy = 0;
+    int ring = 0;
+    std::size_t cell = 0;   // HierarchicalGrid::CoarseIndex(cx, cy)
+    double min_dist = 0.0;  // MinDist(query, coarse rect)
+    std::size_t count = 0;  // residents of the whole coarse cell
+    std::size_t fine_begin = 0;  // global fine-cell id range [begin, end)
+    std::size_t fine_end = 0;
+  };
+
+  HierRingCursor(const HierarchicalGrid& grid, const Point& query);
+
+  // Rewinds onto a new query, reusing the ring buffer's capacity (one
+  // cursor per SSPA solve, reset per provider pop).
+  void Reset(const Point& query);
+
+  // Lower bound on dist(query, p) over every point in a not-yet-returned
+  // coarse cell; +infinity once exhausted. Non-decreasing.
+  double TailMinDist() const {
+    if (exhausted_) return std::numeric_limits<double>::infinity();
+    return pos_ < buffer_.size() ? std::min(buffer_[pos_].min_dist, next_ring_bound_)
+                                 : next_ring_bound_;
+  }
+
+  bool exhausted() const { return exhausted_; }
+
+  // Next occupied coarse cell, or nullopt when all have been served.
+  std::optional<CoarseView> NextCoarse();
+
+  // Points held by coarse cells not yet returned (for prune accounting).
+  std::size_t points_remaining() const { return points_remaining_; }
+
+  // Coarse cells served so far (coarse-level traversal work; fine-cell
+  // fetches are charged by the consumer, which decides what to open).
+  std::uint64_t coarse_visited() const { return coarse_visited_; }
+
+  const HierarchicalGrid& grid() const { return *grid_; }
+
+ private:
+  void FillRing();
+
+  const HierarchicalGrid* grid_;
+  Point query_;
+  int ring_ = 0;
+  int max_ring_ = 0;
+  bool exhausted_ = false;
+  double next_ring_bound_ = 0.0;  // grid_->RingTailMinDist(query, ring_ + 1)
+  std::size_t pos_ = 0;
+  std::size_t points_remaining_ = 0;
+  std::uint64_t coarse_visited_ = 0;
+  std::vector<CoarseView> buffer_;
+};
+
+// Exact incremental NN stream over a HierarchicalGrid, mirroring
+// GridNnCursor's contract (non-decreasing distances; fetched equal-distance
+// candidates served in ascending id order). Two-stage best-first refinement:
+// coarse cells stream in from a HierRingCursor and park their occupied fine
+// children on a min-heap keyed by MinDist(query, fine rect); a fine cell is
+// materialised into the candidate heap only when its bound is due, so dense
+// far-away regions never get opened.
+class HierNnCursor {
+ public:
+  HierNnCursor(const HierarchicalGrid& grid, const Point& query);
+
+  std::optional<std::pair<std::int32_t, double>> Next();
+
+  // Distance the next Next() would return (+infinity when exhausted); may
+  // fetch cells to find out.
+  double PeekDistance();
+
+  // Fine cells materialised (the ledger comparable to GridNnCursor's
+  // cells_visited; coarse traversal is not charged here).
+  std::uint64_t cells_visited() const { return fine_visited_; }
+
+ private:
+  struct FineEntry {
+    double min_dist;
+    std::int32_t fine;
+  };
+  struct FineFarther {
+    bool operator()(const FineEntry& a, const FineEntry& b) const {
+      return a.min_dist != b.min_dist ? a.min_dist > b.min_dist : a.fine > b.fine;
+    }
+  };
+
+  // Certified lower bound on every not-yet-materialised point: coarse cells
+  // still in the ring cursor, plus fine cells parked on the heap.
+  double FrontierBound() const;
+  void Refine();
+
+  HierRingCursor coarse_;
+  Point query_;
+  std::uint64_t fine_visited_ = 0;
+  std::priority_queue<FineEntry, std::vector<FineEntry>, FineFarther> fine_heap_;
   std::priority_queue<NnCandidate, std::vector<NnCandidate>, NnCandidateFarther> heap_;
 };
 

@@ -1,0 +1,224 @@
+// Two-level hierarchical adaptive grid over a static point set.
+//
+// A coarse uniform lattice covers the bounding box; every coarse cell whose
+// occupancy exceeds `split_threshold` subdivides into an s x s block of fine
+// cells sized so the children land near `fine_target_per_cell` residents
+// (quadtree-style, but the split factor adapts per region instead of
+// recursing to a fixed depth). Sparse regions keep a single fine cell per
+// coarse cell, dense regions get up to max_split x max_split children — the
+// per-region answer to the flat auto-tuner's one-resolution-fits-all
+// mis-sizing on skewed inputs.
+//
+// The coarse level carries the aggregates the SSPA pruning stack consumes
+// (see src/geo/README.md for the contract):
+//
+//   * occupancy: a coarse cell's resident count is O(1) (its children's
+//     slots are contiguous), so whole coarse tails are accounted without
+//     touching children;
+//   * tau floors: `HierTauTable` maintains the per-fine-cell floor of the
+//     monotonically raised customer potentials exactly like CellTauTable,
+//     plus a per-coarse floor = min over the cell's children, so the relax
+//     loops can reject an entire coarse cell with one compare
+//     (mindist(coarse) + coarse_floor >= upper bound) instead of s^2 fine
+//     checks.
+//
+// Point storage mirrors UniformGrid: one CSR over *fine* cells with
+// cell-clustered coordinate copies (`UniformGrid::CellSlice` is reused as
+// the slice type), fine cells of a coarse cell contiguous in both the
+// fine-cell and the slot order, and id -> coarse/fine/slot inverse maps.
+#ifndef CCA_GEO_HIER_GRID_H_
+#define CCA_GEO_HIER_GRID_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace cca {
+
+class HierarchicalGrid {
+ public:
+  struct Options {
+    // Average residents per *coarse* cell the builder aims for. The
+    // default keeps the coarse lattice ~16x coarser than the default fine
+    // resolution, so a coarse-tail rejection retires ~16 fine checks.
+    double coarse_target_per_cell = 16.0 * UniformGrid::kDefaultTargetPerCell;
+    // Residents a split coarse cell's children aim for.
+    double fine_target_per_cell = UniformGrid::kDefaultTargetPerCell;
+    // A coarse cell splits when it holds more residents than this; 0
+    // auto-derives 4x the fine target (cells already near the fine target
+    // gain nothing from subdividing).
+    std::size_t split_threshold = 0;
+    // Cap on the per-cell subdivision factor (children per axis).
+    static constexpr int kMaxSplit = 8;
+  };
+
+  explicit HierarchicalGrid(const std::vector<Point>& points)
+      : HierarchicalGrid(points, Options{}) {}
+  HierarchicalGrid(const std::vector<Point>& points, const Options& options);
+
+  std::size_t size() const { return items_.size(); }
+  const Rect& bounds() const { return bounds_; }
+  int coarse_cols() const { return cols_; }
+  int coarse_rows() const { return rows_; }
+  double coarse_cell_size() const { return cell_; }
+  std::size_t num_coarse() const {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+  std::size_t num_fine() const { return fine_owner_.size(); }
+  // Coarse cells that subdivided (split factor > 1).
+  std::size_t splits() const { return splits_; }
+  std::size_t split_threshold() const { return split_threshold_; }
+
+  // --- coarse lattice geometry (mirrors UniformGrid's ring contract) ------
+  void LocateCoarse(const Point& q, int* cx, int* cy) const;
+  std::size_t CoarseIndex(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(cx);
+  }
+  Rect CoarseRect(std::size_t c) const;
+  // Largest coarse ring that still intersects the lattice around q.
+  int MaxRing(const Point& q) const;
+  // Lower bound on dist(q, p) for every point in coarse ring `ring` or any
+  // later ring (non-decreasing in `ring`; the coarse analogue of
+  // UniformGrid::RingTailMinDist, with the same outside-the-box floor).
+  double RingTailMinDist(const Point& q, int ring) const;
+
+  // --- per-coarse aggregates ---------------------------------------------
+  // Subdivision factor of coarse cell `c` (1 = unsplit).
+  int split(std::size_t c) const { return split_[c]; }
+  // Global fine-cell id range of `c`: [fine_begin, fine_begin + split^2).
+  std::size_t fine_begin(std::size_t c) const {
+    return static_cast<std::size_t>(fine_offset_[c]);
+  }
+  std::size_t fine_end(std::size_t c) const {
+    return static_cast<std::size_t>(fine_offset_[c + 1]);
+  }
+  // Residents of coarse cell `c`, O(1) (children are slot-contiguous).
+  std::size_t coarse_count(std::size_t c) const {
+    return static_cast<std::size_t>(start_[fine_offset_[c + 1]] - start_[fine_offset_[c]]);
+  }
+  // Linear indices of the occupied coarse cells, ascending.
+  const std::vector<std::int32_t>& nonempty_coarse() const { return nonempty_coarse_; }
+
+  // --- fine cells ---------------------------------------------------------
+  // Owning coarse cell of fine cell `f`.
+  std::size_t coarse_of_fine(std::size_t f) const {
+    return static_cast<std::size_t>(fine_owner_[f]);
+  }
+  Rect FineRect(std::size_t f) const;
+  // Slot span and clustered slice of fine cell `f` (slice type shared with
+  // UniformGrid so the fused relax kernel serves both).
+  std::size_t fine_cell_begin(std::size_t f) const {
+    return static_cast<std::size_t>(start_[f]);
+  }
+  std::size_t fine_cell_end(std::size_t f) const {
+    return static_cast<std::size_t>(start_[f + 1]);
+  }
+  UniformGrid::CellSlice FineCell(std::size_t f) const;
+
+  // Calls fn(cx, cy) for every lattice cell of coarse ring `ring` around
+  // the (clamped) coarse cell of `q` (same traversal as
+  // UniformGrid::VisitRing; occupancy filtering is the caller's business —
+  // coarse_count() is O(1)).
+  template <typename Fn>
+  void VisitCoarseRing(const Point& q, int ring, Fn&& fn) const {
+    int cx = 0, cy = 0;
+    LocateCoarse(q, &cx, &cy);
+    if (ring == 0) {
+      fn(cx, cy);
+      return;
+    }
+    const int x_lo = cx - ring, x_hi = cx + ring;
+    const int y_lo = cy - ring, y_hi = cy + ring;
+    // Top and bottom rows of the ring square.
+    for (int y : {y_lo, y_hi}) {
+      if (y < 0 || y >= rows_) continue;
+      const int from = x_lo < 0 ? 0 : x_lo;
+      const int to = x_hi >= cols_ ? cols_ - 1 : x_hi;
+      for (int x = from; x <= to; ++x) fn(x, y);
+    }
+    // Left and right columns, excluding the corners already visited.
+    for (int x : {x_lo, x_hi}) {
+      if (x < 0 || x >= cols_) continue;
+      const int from = y_lo + 1 < 0 ? 0 : y_lo + 1;
+      const int to = y_hi - 1 >= rows_ ? rows_ - 1 : y_hi - 1;
+      for (int y = from; y <= to; ++y) fn(x, y);
+    }
+  }
+
+  // --- inverse maps -------------------------------------------------------
+  std::size_t coarse_of_point(std::size_t i) const {
+    return static_cast<std::size_t>(coarse_of_[i]);
+  }
+  std::size_t fine_of_point(std::size_t i) const {
+    return static_cast<std::size_t>(fine_of_[i]);
+  }
+  std::size_t slot_of_point(std::size_t i) const {
+    return static_cast<std::size_t>(slot_of_[i]);
+  }
+
+ private:
+  Rect bounds_;
+  double cell_ = 1.0;  // coarse cell side
+  int cols_ = 1;
+  int rows_ = 1;
+  std::size_t split_threshold_ = 0;
+  std::size_t splits_ = 0;
+  std::vector<std::int32_t> split_;        // per coarse cell: children per axis
+  std::vector<std::int32_t> fine_offset_;  // coarse -> first fine id, size C+1
+  std::vector<std::int32_t> fine_owner_;   // fine -> coarse
+  std::vector<std::int32_t> start_;        // CSR: fine -> first slot, size F+1
+  std::vector<std::int32_t> items_;        // point ids, clustered by fine cell
+  std::vector<double> xs_;                 // coordinates aligned with items_
+  std::vector<double> ys_;
+  std::vector<std::int32_t> coarse_of_;  // point id -> coarse index
+  std::vector<std::int32_t> fine_of_;    // point id -> fine index
+  std::vector<std::int32_t> slot_of_;    // point id -> slot
+  std::vector<std::int32_t> nonempty_coarse_;
+};
+
+// Two-level floor table of a per-point scalar that only ever increases (the
+// SSPA customer potentials tau_p), the hierarchical sibling of
+// CellTauTable. Fine floors follow the same incremental recipe (a raise
+// refloors its fine cell only when it held the min); a changed fine floor
+// propagates into its coarse cell's floor the same way, and the cached
+// global floor rescans coarse floors only when displaced. The aggregation
+// invariant consumers rely on — CoarseFloor(c) <= FineFloor(f) for every
+// child f, and every floor is a lower bound on its residents' values — is
+// maintained exactly (src/geo/README.md spells out why that makes the
+// coarse-tail rejection sound under in-flight monotone raises).
+class HierTauTable {
+ public:
+  explicit HierTauTable(const HierarchicalGrid& grid);
+
+  // Raises point `point_id` to `value` (lower values are ignored, keeping
+  // the monotone contract) and restores the exactness of its fine and
+  // coarse floors.
+  void Raise(std::size_t point_id, double value);
+
+  double FineFloor(std::size_t f) const { return fine_floors_[f]; }
+  double CoarseFloor(std::size_t c) const { return coarse_floors_[c]; }
+  // Exact min value over every indexed point (0 for an empty grid);
+  // cached, rescanning occupied coarse floors only after displacement.
+  double GlobalFloor();
+
+  // Slot-ordered value array aligned with the grid's clustered slices:
+  // values()[slice.first_slot + i] is the value of slice.ids[i].
+  const double* values() const { return values_.data(); }
+
+ private:
+  const HierarchicalGrid* grid_;
+  std::vector<double> values_;         // slot-ordered
+  std::vector<double> fine_floors_;    // per fine cell; +infinity when empty
+  std::vector<double> coarse_floors_;  // per coarse cell; +infinity when empty
+  double global_floor_ = 0.0;
+  bool global_dirty_ = false;
+};
+
+}  // namespace cca
+
+#endif  // CCA_GEO_HIER_GRID_H_

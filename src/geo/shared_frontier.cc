@@ -71,4 +71,16 @@ std::optional<GridRingCursor::CellView> SharedCellSweep::NextCell() {
   return cell;
 }
 
+HierCellSweep::HierCellSweep(const HierarchicalGrid& grid)
+    : cursor_(grid, Point{}), resident_(grid.num_fine(), 0) {}
+
+void HierCellSweep::ChargeFine(std::size_t fine) {
+  auto& slot = resident_[fine];
+  if (slot == 0) {
+    slot = 1;
+    ++stats_.cell_fetches;
+  }
+  ++stats_.fanout;
+}
+
 }  // namespace cca

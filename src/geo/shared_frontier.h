@@ -130,6 +130,40 @@ class SharedCellSweep {
   SharedFrontierStats stats_;
 };
 
+// Re-scannable shared sweep over a HierarchicalGrid, the hierarchical
+// sibling of SharedCellSweep. Coarse-cell traversal passes straight through
+// (coarse cells are aggregate reads, not index fetches); residency is
+// tracked per *fine* cell, and the consumer charges a fine cell via
+// ChargeFine only when its bounds failed to reject it and the slice is
+// actually opened — so coarse-tail rejections keep unopened regions out of
+// the fetch ledger entirely, and re-scans of a resident fine cell cost a
+// fanout unit, not a fetch.
+class HierCellSweep {
+ public:
+  explicit HierCellSweep(const HierarchicalGrid& grid);
+
+  // Rewinds onto a new query point (one scan per provider pop).
+  void Reset(const Point& query) { cursor_.Reset(query); }
+
+  double TailMinDist() const { return cursor_.TailMinDist(); }
+  std::size_t points_remaining() const { return cursor_.points_remaining(); }
+
+  // Next occupied coarse cell in the current scan's ring order.
+  std::optional<HierRingCursor::CoarseView> NextCoarse() { return cursor_.NextCoarse(); }
+
+  // Accounts an opened fine cell: a fetch on first materialisation across
+  // all scans, a fanout unit on every open.
+  void ChargeFine(std::size_t fine);
+
+  const HierarchicalGrid& grid() const { return cursor_.grid(); }
+  const SharedFrontierStats& stats() const { return stats_; }
+
+ private:
+  HierRingCursor cursor_;
+  std::vector<char> resident_;
+  SharedFrontierStats stats_;
+};
+
 }  // namespace cca
 
 #endif  // CCA_GEO_SHARED_FRONTIER_H_

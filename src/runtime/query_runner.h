@@ -39,6 +39,7 @@
 #include "core/problem.h"
 #include "flow/sspa.h"
 #include "geo/grid.h"
+#include "geo/hier_grid.h"
 
 namespace cca {
 
@@ -56,6 +57,10 @@ class SharedIndex {
     // Build the R-tree CustomerDb (needed by the kRTree* backends and the
     // greedy baseline; grid-only workloads can skip the bulk load).
     bool build_customer_db = true;
+    // Split threshold for the shared hierarchical grids (0 = the builder's
+    // auto default); must match a query's hier_split_threshold for the
+    // shared hierarchy to be injected.
+    std::size_t hier_split_threshold = 0;
     CustomerDb::Options db;
   };
 
@@ -70,18 +75,28 @@ class SharedIndex {
   CustomerDb* db() const { return db_.get(); }
   const UniformGrid* stream_grid() const { return stream_grid_.get(); }
   const UniformGrid* relax_grid() const { return relax_grid_.get(); }
-  // Resolved resolutions the two grids were built at (used by QueryRunner
-  // to decide whether a query's config can borrow them).
+  // Hierarchical siblings of the two flat grids (geo/hier_grid.h), built at
+  // the same fine resolutions with the standard 16x-coarser top level:
+  // injected into SSPA solves running with use_hierarchy and into exact
+  // kGrid solves that opt into the hierarchical stream.
+  const HierarchicalGrid* stream_hier() const { return stream_hier_.get(); }
+  const HierarchicalGrid* relax_hier() const { return relax_hier_.get(); }
+  // Resolved resolutions the grids were built at (used by QueryRunner to
+  // decide whether a query's config can borrow them).
   double stream_target_per_cell() const { return stream_target_per_cell_; }
   double relax_target_per_cell() const { return relax_target_per_cell_; }
+  std::size_t hier_split_threshold() const { return hier_split_threshold_; }
 
  private:
   std::vector<Point> customers_;
   std::unique_ptr<CustomerDb> db_;
   std::unique_ptr<UniformGrid> stream_grid_;
   std::unique_ptr<UniformGrid> relax_grid_;
+  std::unique_ptr<HierarchicalGrid> stream_hier_;
+  std::unique_ptr<HierarchicalGrid> relax_hier_;
   double stream_target_per_cell_ = 0.0;
   double relax_target_per_cell_ = 0.0;
+  std::size_t hier_split_threshold_ = 0;
 };
 
 // Which solver a QuerySpec runs.

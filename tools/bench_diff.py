@@ -29,7 +29,7 @@ import argparse
 import json
 import sys
 
-ID_KEYS = ("n_q", "n_p", "k", "mode", "setting", "algo",
+ID_KEYS = ("n_q", "n_p", "k", "mode", "dist", "setting", "algo",
            # bench_engine_qps rows: mixed-workload batches per thread count.
            "workload", "queries", "threads")
 COUNTER_KEYS = (
@@ -38,6 +38,16 @@ COUNTER_KEYS = (
     "grid_rings_scanned",
     "grid_cursor_cells",
     "shared_frontier_cell_fetches",
+    # Hierarchical-grid activity (geo/hier_grid.h). dense_cells_checked is
+    # the output-sensitivity headline (the hierarchical dense fallback must
+    # keep its >=10x collapse at 100x10k); the coarse counters pin how much
+    # work the two-level sweep does. coarse_tails_pruned growth would be an
+    # improvement, but a pruned tail is also a descent avoided, so both
+    # directions of drift are gated and a deliberate trade needs a comment.
+    "dense_cells_checked",
+    "coarse_tails_pruned",
+    "coarse_cells_descended",
+    "hier_splits",
     # The quadratic term the cell-level pruning + fused early-reject kernel
     # exist to kill: exact (sqrt) distances materialised by the relax
     # kernels. Gated so a refactor cannot silently reintroduce it.
