@@ -1,0 +1,266 @@
+// Dispatch-churn benchmark for the incremental AssignmentEngine
+// (src/runtime/engine.h): the warm-start A/B on a sustained
+// arrival/departure stream.
+//
+// Each shape drives a Poisson-ish event stream — customer arrivals and
+// departures every step, occasional provider churn — through two engines
+// fed the identical stream: one warm-started (duals + adopted flow from
+// the previous Resolve), one resolving cold every step. Every step's warm
+// cost is checked against the cold cost (exit non-zero on any mismatch:
+// the engine's correctness anchor), and the run reports sustained
+// re-solve QPS plus p50/p99 re-solve latency per mode.
+//
+// Shapes keep gamma == total weight (ample capacity), the regime a
+// dispatch service lives in and the one where flow adoption applies: on a
+// small-perturbation step the warm engine re-augments only the churned
+// units, so its dijkstra_pops must sit far below the cold engine's —
+// that column is the gated headline (tools/bench_diff.py: cost, pops,
+// relaxes and augmentations gate against BENCH_dispatch.json; timing is
+// reported but never gated).
+//
+//   bench_engine_dispatch [--out BENCH_dispatch.json] [--max-np N]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/generator.h"
+#include "runtime/engine.h"
+
+namespace {
+
+struct Shape {
+  const char* dist;  // "u" uniform / "c" clustered pools
+  std::size_t nq, np, steps;
+  std::int32_t k;
+};
+
+struct ModeStats {
+  double cost = 0.0;  // summed over all resolves
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;
+  cca::Metrics totals;
+};
+
+struct Row {
+  Shape shape;
+  const char* mode;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  ModeStats stats;
+};
+
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+// Knuth Poisson sampling; the event-count distribution of a dispatch
+// stream's inter-resolve window.
+std::size_t Poisson(cca::Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  double product = rng.NextDouble();
+  std::size_t n = 0;
+  while (product > limit) {
+    ++n;
+    product *= rng.NextDouble();
+  }
+  return n;
+}
+
+// One timed Resolve; accumulates into `stats` and returns the cost.
+double TimedResolve(cca::AssignmentEngine& engine, ModeStats& stats) {
+  cca::Timer timer;
+  const cca::AssignmentEngine::ResolveOutcome out = engine.Resolve();
+  const double ms = timer.ElapsedMillis();
+  stats.wall_ms += ms;
+  stats.latencies_ms.push_back(ms);
+  stats.cost += out.cost;
+  stats.totals.Merge(out.metrics);
+  return out.cost;
+}
+
+void PrintRow(const Row& r) {
+  const cca::Metrics& m = r.stats.totals;
+  std::printf("%4s %6zu %8zu %4d %6zu %5s %8.1f %8.3f %8.3f %14.1f %12llu %9llu %9llu\n",
+              r.shape.dist, r.shape.nq, r.shape.np, r.shape.k, r.shape.steps, r.mode, r.qps,
+              r.p50_ms, r.p99_ms, r.stats.cost, static_cast<unsigned long long>(m.dijkstra_pops),
+              static_cast<unsigned long long>(m.augmentations),
+              static_cast<unsigned long long>(m.warm_units_adopted));
+  std::fflush(stdout);
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const cca::Metrics& m = r.stats.totals;
+    std::fprintf(f,
+                 "  {\"workload\": \"dispatch\", \"dist\": \"%s\", \"n_q\": %zu, \"n_p\": %zu, "
+                 "\"k\": %d, \"mode\": \"%s\", "
+                 "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"wall_ms\": %.1f, "
+                 "\"cost\": %.3f, \"pops\": %llu, \"relaxes\": %llu, "
+                 "\"augmentations\": %llu, \"dual_repairs\": %llu, "
+                 "\"warm_units_adopted\": %llu}%s\n",
+                 r.shape.dist, r.shape.nq, r.shape.np, r.shape.k, r.mode, r.qps, r.p50_ms,
+                 r.p99_ms, r.stats.wall_ms, r.stats.cost,
+                 static_cast<unsigned long long>(m.dijkstra_pops),
+                 static_cast<unsigned long long>(m.dijkstra_relaxes),
+                 static_cast<unsigned long long>(m.augmentations),
+                 static_cast<unsigned long long>(m.dual_repairs),
+                 static_cast<unsigned long long>(m.warm_units_adopted),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu rows to %s\n", rows.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_dispatch.json";
+  std::size_t max_np = 100000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") {
+      out_path = next();
+    } else if (flag == "--max-np") {
+      max_np = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "usage: bench_engine_dispatch [--out FILE] [--max-np N]\n");
+      return 2;
+    }
+  }
+
+  // k * nq comfortably exceeds np at every step: the ample-capacity
+  // (Jonker-Volgenant) regime where flow adoption applies. Arrivals and
+  // departures are rate-balanced so the population hovers around np.
+  const Shape shapes[] = {
+      {"u", 30, 1500, 60, 80},
+      {"c", 30, 1500, 60, 80},
+      {"u", 100, 8000, 50, 120},
+  };
+
+  cca::RoadNetwork net = cca::DefaultNetwork(7);
+  std::printf("%4s %6s %8s %4s %6s %5s %8s %8s %8s %14s %12s %9s %9s\n", "dist", "nq", "np", "k",
+              "steps", "mode", "qps", "p50_ms", "p99_ms", "cost", "pops", "aug", "adopted");
+
+  std::vector<Row> rows;
+  for (const Shape& s : shapes) {
+    if (s.np > max_np) continue;
+    // Pools of positions to draw arrivals from (the stream outlives the
+    // initial population).
+    cca::DatasetSpec p_spec;
+    p_spec.count = s.np * 3;
+    p_spec.seed = 11;
+    p_spec.distribution = s.dist[0] == 'c' ? cca::PointDistribution::kClustered
+                                           : cca::PointDistribution::kUniform;
+    const std::vector<cca::Point> customer_pool = cca::GeneratePoints(net, p_spec);
+    cca::DatasetSpec q_spec;
+    q_spec.count = s.nq * 2;
+    q_spec.seed = 13;
+    q_spec.distribution = p_spec.distribution;
+    const std::vector<cca::Point> provider_pool = cca::GeneratePoints(net, q_spec);
+
+    // Both engines consume the identical stream; only warm_start differs.
+    cca::AssignmentEngine::Options warm_opts;
+    warm_opts.warm_start = true;
+    cca::AssignmentEngine::Options cold_opts;
+    cold_opts.warm_start = false;
+    cca::AssignmentEngine warm_engine(warm_opts);
+    cca::AssignmentEngine cold_engine(cold_opts);
+
+    std::vector<std::pair<cca::AssignmentEngine::Id, cca::AssignmentEngine::Id>> customers;
+    std::size_t next_customer = 0, next_provider = 0;
+    auto arrive_customer = [&] {
+      const cca::Point& pos = customer_pool[next_customer++ % customer_pool.size()];
+      customers.emplace_back(warm_engine.InsertCustomer(pos), cold_engine.InsertCustomer(pos));
+    };
+    auto arrive_provider = [&] {
+      const cca::Point& pos = provider_pool[next_provider++ % provider_pool.size()];
+      warm_engine.InsertProvider(pos, s.k);
+      cold_engine.InsertProvider(pos, s.k);
+    };
+    for (std::size_t q = 0; q < s.nq; ++q) arrive_provider();
+    for (std::size_t p = 0; p < s.np; ++p) arrive_customer();
+
+    ModeStats warm_stats, cold_stats;
+    // Step 0 solves the initial snapshot (cold for both engines: nothing
+    // to warm from), then every step perturbs ~lambda customers each way
+    // and re-solves.
+    TimedResolve(warm_engine, warm_stats);
+    TimedResolve(cold_engine, cold_stats);
+
+    cca::Rng rng(s.np * 31 + s.nq);
+    const double lambda = std::max(1.0, static_cast<double>(s.np) / 200.0);
+    for (std::size_t step = 0; step < s.steps; ++step) {
+      const std::size_t arrivals = Poisson(rng, lambda);
+      const std::size_t departures = std::min<std::size_t>(Poisson(rng, lambda),
+                                                           customers.size() > s.nq
+                                                               ? customers.size() - s.nq
+                                                               : 0);
+      for (std::size_t a = 0; a < arrivals; ++a) arrive_customer();
+      for (std::size_t d = 0; d < departures; ++d) {
+        const std::size_t i = static_cast<std::size_t>(rng.NextBelow(customers.size()));
+        warm_engine.RemoveCustomer(customers[i].first);
+        cold_engine.RemoveCustomer(customers[i].second);
+        customers[i] = customers.back();
+        customers.pop_back();
+      }
+      if (rng.NextDouble() < 0.05) arrive_provider();  // occasional fleet growth
+
+      const double warm_cost = TimedResolve(warm_engine, warm_stats);
+      const double cold_cost = TimedResolve(cold_engine, cold_stats);
+      const double tol = 1e-9 * std::max(1.0, std::abs(cold_cost));
+      if (std::abs(warm_cost - cold_cost) > tol) {
+        std::fprintf(stderr,
+                     "WARM-START SOUNDNESS VIOLATION dist=%s step=%zu: warm cost %.17g != "
+                     "cold cost %.17g\n",
+                     s.dist, step, warm_cost, cold_cost);
+        return 1;
+      }
+    }
+
+    for (auto* st : {&warm_stats, &cold_stats}) {
+      Row row;
+      row.shape = s;
+      row.mode = st == &warm_stats ? "warm" : "cold";
+      row.stats = *st;
+      std::sort(row.stats.latencies_ms.begin(), row.stats.latencies_ms.end());
+      row.p50_ms = Percentile(row.stats.latencies_ms, 0.50);
+      row.p99_ms = Percentile(row.stats.latencies_ms, 0.99);
+      row.qps = row.stats.wall_ms > 0.0
+                    ? 1000.0 * static_cast<double>(row.stats.latencies_ms.size()) /
+                          row.stats.wall_ms
+                    : 0.0;
+      rows.push_back(row);
+      PrintRow(rows.back());
+    }
+    const auto warm_pops = rows[rows.size() - 2].stats.totals.dijkstra_pops;
+    const auto cold_pops = rows[rows.size() - 1].stats.totals.dijkstra_pops;
+    std::printf("  -> warm/cold pops ratio %.4f\n",
+                cold_pops > 0 ? static_cast<double>(warm_pops) / static_cast<double>(cold_pops)
+                              : 0.0);
+  }
+  WriteJson(rows, out_path);
+  return 0;
+}

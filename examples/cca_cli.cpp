@@ -121,9 +121,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--backend") {
       args->backend = next();
     } else if (flag == "--threads") {
-      args->threads = static_cast<std::size_t>(std::atoll(next()));
+      const long long v = std::atoll(next());
+      if (v < 1) {
+        std::fprintf(stderr, "--threads must be >= 1 (got %lld)\n", v);
+        return false;
+      }
+      args->threads = static_cast<std::size_t>(v);
     } else if (flag == "--repeat") {
-      args->repeat = static_cast<std::size_t>(std::atoll(next()));
+      const long long v = std::atoll(next());
+      if (v < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1 (got %lld)\n", v);
+        return false;
+      }
+      args->repeat = static_cast<std::size_t>(v);
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -187,8 +197,8 @@ int main(int argc, char** argv) {
   }
 
   // The hierarchy flags only steer SSPA's relax grid (same pattern as the
-  // --threads validation below: flags a run would silently ignore are hard
-  // errors, not no-ops).
+  // --threads/--repeat solver check below: flags a run would silently
+  // ignore are hard errors, not no-ops).
   if ((args.hierarchy_flag_given || args.split_threshold_given) && args.solver != "sspa") {
     std::fprintf(stderr, "--no-hierarchy/--hier-split-threshold support --solver sspa only\n");
     return 2;
@@ -220,7 +230,7 @@ int main(int argc, char** argv) {
   const bool runnable = args.solver == "ida" || args.solver == "nia" || args.solver == "ria" ||
                         args.solver == "greedy" || args.solver == "sspa";
   const bool use_runner = (args.threads > 1 || args.repeat > 1) && runnable;
-  const std::size_t repeat = args.repeat < 1 ? 1 : args.repeat;
+  const std::size_t repeat = args.repeat;  // >= 1, enforced at parse time
   if ((args.threads > 1 || args.repeat > 1) && !use_runner &&
       (args.solver == "sa" || args.solver == "ca")) {
     std::fprintf(stderr, "--threads/--repeat support ida|nia|ria|greedy|sspa only\n");

@@ -4,6 +4,14 @@
 
 namespace cca {
 
+// Layout guard for the Merge-completeness check: Metrics must be exactly
+// kMetricsCounterCount uint64 counters followed by cpu_millis, with no
+// padding. A new counter that is not accounted for in kMetricsCounterCount
+// fails here; one that is counted but forgotten in Merge fails the
+// memcpy-view test in tests/test_metrics.cc.
+static_assert(sizeof(Metrics) == kMetricsCounterCount * sizeof(std::uint64_t) + sizeof(double),
+              "Metrics layout changed: update kMetricsCounterCount and Merge together");
+
 void Metrics::Merge(const Metrics& other) {
   edges_inserted += other.edges_inserted;
   dijkstra_runs += other.dijkstra_runs;
@@ -21,6 +29,8 @@ void Metrics::Merge(const Metrics& other) {
   coarse_tails_pruned += other.coarse_tails_pruned;
   coarse_cells_descended += other.coarse_cells_descended;
   hier_splits += other.hier_splits;
+  dual_repairs += other.dual_repairs;
+  warm_units_adopted += other.warm_units_adopted;
   nn_searches += other.nn_searches;
   range_searches += other.range_searches;
   node_accesses += other.node_accesses;

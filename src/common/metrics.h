@@ -7,6 +7,7 @@
 #ifndef CCA_COMMON_METRICS_H_
 #define CCA_COMMON_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -64,6 +65,19 @@ struct Metrics {
   // count per solve-owned or shared grid consulted; a pure build-shape
   // diagnostic for the per-region adaptation).
   std::uint64_t hier_splits = 0;
+  // Warm-started solves only (flow/sspa.h SspaConfig::initial_potentials):
+  // provider duals the feasibility-repair pass had to clamp down before the
+  // first Dijkstra run. Zero on cold solves; on a warm solve it counts how
+  // much of the previous dual solution drifted infeasible (matched edges
+  // plus whatever churn perturbed).
+  std::uint64_t dual_repairs = 0;
+  // Flow-carrying warm starts (SspaConfig::initial_matching): units of the
+  // previous matching re-adopted because their arc stayed residually
+  // feasible under the seed duals (ample-capacity regime only — see
+  // RepairDuals in src/flow/sspa.cc). adopted close to gamma is the
+  // small-perturbation fast path: only gamma - adopted units are
+  // re-augmented.
+  std::uint64_t warm_units_adopted = 0;
 
   // --- spatial side --------------------------------------------------------
   std::uint64_t nn_searches = 0;     // incremental NN advances served
@@ -109,6 +123,14 @@ struct Metrics {
   // Human-readable one-line summary, used by examples and benches.
   std::string ToString() const;
 };
+
+// Number of uint64 counters in Metrics, in declaration order (everything
+// before cpu_millis). Merge must touch every one of them; the static_assert
+// in metrics.cc plus the memcpy-view completeness test in tests/
+// test_metrics.cc turn a forgotten counter into a compile- or test-time
+// failure instead of silent under-reporting. Adding a counter means
+// bumping this, extending Merge, and nothing else.
+inline constexpr std::size_t kMetricsCounterCount = 26;
 
 }  // namespace cca
 

@@ -51,11 +51,12 @@ class NnSource {
   // without consuming it; may read index structures to find out. RIA's
   // grid path drains a source batch-by-batch against this bound.
   virtual double PeekDistance(int q) = 0;
-  // Provider `q`'s stream is expected not to be consumed again (capacity
-  // exhausted, or the solver retired it). Purely an optimisation hint:
-  // batched sources stop multiplexing shared fetches to `q`; per-provider
-  // backends ignore it. A retired stream stays exact if consumed anyway —
-  // it just no longer amortises with its group.
+  // Provider `q`'s stream will not be consumed again (capacity exhausted,
+  // or the solver retired it). Batched sources terminate the stream and
+  // release its subscription slot — queued candidates and delivery
+  // bookkeeping — so a retiree stops costing both memory and fanout work;
+  // per-provider backends ignore the call. After Retire, NextNN(q)
+  // returns nullopt and PeekDistance(q) is +infinity on batched sources.
   virtual void Retire(int q) { (void)q; }
 };
 

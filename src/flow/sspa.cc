@@ -46,6 +46,19 @@ class SspaSolver {
         alpha_(nq_ + np_ + 1, kInf),
         prev_(nq_ + np_ + 1, -1),
         heap_(nq_ + np_ + 1) {
+    // Warm start: adopt the caller's duals before any floor table is built
+    // so the tables can be seeded consistently (the Dijkstra global-floor
+    // assert checks min_tau_p_ against tau_p_ on every run). Negative
+    // entries are clamped — the solver's invariants assume tau >= 0 — and
+    // feasibility (including adoption of any initial_matching flow) is
+    // restored by RepairDuals before the first Dijkstra run.
+    if (config_.initial_potentials != nullptr) {
+      const SspaPotentials& init = *config_.initial_potentials;
+      assert(init.tau_q.size() == nq_ && init.tau_p.size() == np_);
+      for (std::size_t q = 0; q < nq_; ++q) tau_q_[q] = std::max(0.0, init.tau_q[q]);
+      for (std::size_t p = 0; p < np_; ++p) tau_p_[p] = std::max(0.0, init.tau_p[p]);
+      warm_ = true;
+    }
     // The hierarchical grid subsumes the flat one whenever the cell floors
     // it aggregates exist: with use_cell_floors + use_hierarchy no flat
     // grid is built at all, and both relax strategies route through the
@@ -66,7 +79,8 @@ class SspaSolver {
         owned_hier_ = std::make_unique<HierarchicalGrid>(problem.customers, opts);
         hier_ = owned_hier_.get();
       }
-      hier_floors_ = std::make_unique<HierTauTable>(*hier_);
+      hier_floors_ = warm_ ? std::make_unique<HierTauTable>(*hier_, tau_p_)
+                           : std::make_unique<HierTauTable>(*hier_);
       if (config_.use_grid) {
         if (config_.use_shared_frontier && np_ >= config_.shared_frontier_min_customers) {
           hier_sweep_ = std::make_unique<HierCellSweep>(*hier_);
@@ -89,7 +103,10 @@ class SspaSolver {
             std::make_unique<UniformGrid>(problem.customers, config_.grid_target_per_cell);
         grid_ = owned_grid_.get();
       }
-      if (config_.use_cell_floors) tau_floors_ = std::make_unique<CellTauTable>(*grid_);
+      if (config_.use_cell_floors) {
+        tau_floors_ = warm_ ? std::make_unique<CellTauTable>(*grid_, tau_p_)
+                            : std::make_unique<CellTauTable>(*grid_);
+      }
     }
     if (config_.use_grid && np_ > 0) {
       if (config_.use_shared_frontier && np_ >= config_.shared_frontier_min_customers) {
@@ -107,7 +124,12 @@ class SspaSolver {
     // Build-shape diagnostic: how many coarse cells the (owned or shared)
     // hierarchy subdivided, charged once per solve that consults it.
     if (hier_ != nullptr) result.metrics.hier_splits += hier_->splits();
+    if (warm_) RepairDuals(&result.metrics);
     std::int64_t remaining = problem_.Gamma();
+    // Flow adopted from a warm start (initial_matching) already sits on
+    // tight arcs; only the deficit is re-augmented. Zero on cold solves.
+    for (std::size_t p = 0; p < np_; ++p) remaining -= sink_flow_[p];
+    assert(remaining >= 0);
     while (remaining > 0) {
       const double d = Dijkstra(&result.metrics);
       assert(d < kInf && "flow graph must admit gamma units");
@@ -117,12 +139,261 @@ class SspaSolver {
       ++result.metrics.augmentations;
     }
     ExtractMatching(&result.matching);
+    // Export the final duals: they certify this matching's optimality and
+    // are the warm seed for a follow-up solve on a perturbed instance.
+    result.potentials.tau_q = tau_q_;
+    result.potentials.tau_p = tau_p_;
     result.metrics.cpu_millis = timer.ElapsedMillis();
     return result;
   }
 
  private:
   int Sink() const { return static_cast<int>(nq_ + np_); }
+
+  // Restores the warm-start invariants before the first Dijkstra run (the
+  // full soundness argument lives in src/runtime/README.md):
+  //
+  //   1. With initial_matching set and gamma == total weight (ample
+  //      capacity — every customer saturates by the end, the regime a
+  //      dispatch engine lives in), previous pairs that survive churn are
+  //      adopted as initial flow and the duals are repaired around them
+  //      (AdoptFlow below). The solve then continues as if those
+  //      augmentations had already happened, and only the deficit is
+  //      re-augmented. In the capacity-limited regime (gamma < total
+  //      weight) the sink potential couples every unsaturated customer's
+  //      dual, and keeping adopted flow consistent with it would need
+  //      cascading evictions; adoption is skipped there — duals-only warm
+  //      start, exact but not faster.
+  //   2. Duals-only warm starts (no matching, or capacity-limited) carry
+  //      zero flow, so feasibility is two one-sided constraints: forward
+  //      edges q->p need tau_q <= dist + tau_p — repaired by clamping
+  //      tau_q down to min_p(dist + tau_p), a tau-augmented
+  //      nearest-neighbour query served by the same cell-floor pruning
+  //      the relax loops use — and sink edges p->t (cost 0) need
+  //      tau_t >= tau_p for every customer, all of which are unsaturated,
+  //      so tau_t = max_p tau_p. (Cold solves keep tau_t = 0, where the
+  //      invariant "tau_p == 0 while unsaturated" makes it vacuous.)
+  //
+  // With feasibility restored, every residual reduced cost Dijkstra can
+  // relax is >= 0 and the remaining successive shortest paths are exact
+  // for any seed duals and any candidate matching (AdoptFlow additionally
+  // sheds the adopted pairs that churn turned into negative residual
+  // cycles — pass e below) — the label clamps in the relax loops
+  // degenerate to no-ops (up to FP noise), and all ring/cell bounds stay
+  // certified lower bounds. Seed quality only decides how much flow
+  // survives adoption, never the final cost.
+  void RepairDuals(Metrics* metrics) {
+    std::int64_t total_weight = 0;
+    for (std::size_t p = 0; p < np_; ++p) total_weight += problem_.weight(p);
+    const bool ample = problem_.Gamma() >= total_weight;
+    if (ample && config_.initial_matching != nullptr) {
+      AdoptFlow(metrics);
+      return;
+    }
+    for (std::size_t q = 0; q < nq_; ++q) {
+      const double best = TauAugmentedNn(q, tau_q_[q], metrics);
+      if (best < tau_q_[q]) {
+        tau_q_[q] = best;
+        ++metrics->dual_repairs;
+      }
+    }
+    tau_t_ = 0.0;
+    for (std::size_t p = 0; p < np_; ++p) tau_t_ = std::max(tau_t_, tau_p_[p]);
+  }
+
+  // Flow-carrying warm start (ample regime): adopt surviving pairs, then
+  // repair the duals around them and shed the pairs churn has invalidated
+  // — five single passes, no fixpoint iteration:
+  //
+  //   a. Every churn-valid pair (in-range endpoints, capacity and weight
+  //      respected) takes its flow provisionally. Anything else is
+  //      dropped; dropped units just rejoin the augmentation deficit.
+  //   b. TIGHTEN: each adopted arc raises its customer's dual to
+  //      tau_p = tau_q - dist, turning the end-of-solve slack r <= 0 into
+  //      the Hungarian matched-arc invariant r == 0 (so its reverse edge
+  //      relaxes at exactly 0, not the clamped -r). Raising tau_p can
+  //      never break another arc's forward feasibility — r only grows —
+  //      so tightening needs no compensation anywhere, and it absorbs
+  //      the r < 0 drift the previous solve accumulated instead of
+  //      exporting it to the next one. Tightening may only RAISE values,
+  //      so the floor tables stay within their monotone Raise contract.
+  //   c. Forward edges q->p with a residual need tau_q <= dist + tau_p.
+  //      Engine-produced seeds satisfy this already (the previous solve
+  //      ended feasible, tightening only raised tau_p, and arrival seeds
+  //      are minimal-feasible by construction), so for them the clamp
+  //      pass below certifies every provider without firing; it exists
+  //      to make arbitrary caller-supplied duals safe. Tightened served
+  //      arcs sit at dist + tau_p == tau_q, so they cap the min at
+  //      exactly tau_q and no served-customer exclusion is needed.
+  //   d. RELEASE: any adopted arc left with r > eps — a clamp fired
+  //      below it, or a weighted customer's arcs disagreed — hands its
+  //      flow back. A released arc has r > 0, i.e. it is already
+  //      forward-feasible, and releasing changes no duals, so one scan
+  //      suffices: no cascade is possible.
+  //   e. CONTESTED: release every adopted arc whose customer has some
+  //      OTHER provider strictly closer than the one serving it. Duals
+  //      certify paths, not flow: successive shortest paths only ever
+  //      augment the deficit, so any improving residual CYCLE already
+  //      present in the adopted flow survives to the final matching.
+  //      Churn creates exactly such cycles — a departure frees a slot at
+  //      a previously-full provider (or a provider arrives) that now
+  //      undercuts a neighbour's customer: s -> q_freed -> p -> q_serving
+  //      -> s has true cost dist(q_freed, p) - dist(q_serving, p) < 0.
+  //      Every capacity-neutral residual cycle (any mix of source hops
+  //      and provider exchanges) telescopes into per-customer brackets
+  //      dist(q_other, p) - dist(q_serving, p), so its cost is bounded
+  //      below by the sum over its customers of
+  //          gap(p) = min_{q != serving} dist(q, p) - dist(serving, p),
+  //      and releasing every customer with gap < 0 leaves no negative
+  //      cycle at all. Releasing only removes reverse edges (it cannot
+  //      create a new negative bracket), so one scan suffices. The
+  //      released set is exactly the customers their server holds
+  //      against geometry — the capacity-displaced ones — which churn
+  //      keeps small, and the O(|adopted| * |Q|) scan is noise next to
+  //      one Dijkstra run.
+  //
+  // Sink edges need no repair: tau_t stays 0 and every unsaturated
+  // customer's sink edge relaxes at exactly +0, which makes each Dijkstra
+  // run target the nearest deficit — the successive-shortest-path scheme
+  // for the transportation formulation, where deficits live at the
+  // customers and "serve this arrival instead of that one" is a change of
+  // deficit vector, not a comparable flow. What that scheme does require
+  // is the absence of the capacity-neutral negative cycles pass e just
+  // removed. With passes a-e done the duals are feasible on every edge
+  // Dijkstra relaxes, the adopted arcs are tight (r == 0), and each
+  // remaining augmentation re-optimally absorbs one deficit unit
+  // (re-routing adopted flow through reverse edges where profitable), so
+  // the final matching is cost-identical to a cold solve — asserted by
+  // AssignmentEngine::VerifyAgainstCold in Debug builds and enforced by
+  // bench_engine_dispatch's warm/cold cross-check.
+  void AdoptFlow(Metrics* metrics) {
+    struct Adopted {
+      std::int32_t q, p;
+      std::int64_t units;
+    };
+    std::vector<Adopted> adopted;
+    adopted.reserve(config_.initial_matching->pairs.size());
+    for (const MatchPair& pair : config_.initial_matching->pairs) {
+      if (pair.provider < 0 || pair.customer < 0 || pair.units <= 0) continue;
+      const auto q = static_cast<std::size_t>(pair.provider);
+      const auto p = static_cast<std::size_t>(pair.customer);
+      const auto units = static_cast<std::int64_t>(pair.units);
+      if (q >= nq_ || p >= np_) continue;
+      if (unit_customers_ && (units != 1 || serving_[p] >= 0)) continue;
+      if (used_q_[q] + units > problem_.providers[q].capacity) continue;
+      if (sink_flow_[p] + units > problem_.weight(p)) continue;
+      AddFlow(q, p, units);
+      used_q_[q] += units;
+      sink_flow_[p] += units;
+      adopted.push_back({static_cast<std::int32_t>(q), static_cast<std::int32_t>(p), units});
+      metrics->warm_units_adopted += static_cast<std::uint64_t>(units);
+    }
+    for (const Adopted& a : adopted) {
+      const auto q = static_cast<std::size_t>(a.q);
+      const auto p = static_cast<std::size_t>(a.p);
+      const double tight = tau_q_[q] - Distance(problem_.providers[q].pos, problem_.customers[p]);
+      if (tight > tau_p_[p]) {
+        tau_p_[p] = tight;
+        if (hier_floors_) {
+          hier_floors_->Raise(p, tight);
+        } else if (tau_floors_) {
+          tau_floors_->Raise(p, tight);
+        }
+      }
+    }
+    for (std::size_t q = 0; q < nq_; ++q) {
+      const double best = TauAugmentedNn(q, tau_q_[q], metrics);
+      if (best < tau_q_[q]) {
+        tau_q_[q] = best;
+        ++metrics->dual_repairs;
+      }
+    }
+    for (Adopted& a : adopted) {
+      const auto q = static_cast<std::size_t>(a.q);
+      const auto p = static_cast<std::size_t>(a.p);
+      const double dist = Distance(problem_.providers[q].pos, problem_.customers[p]);
+      const double r = dist - tau_q_[q] + tau_p_[p];
+      // The epsilon absorbs the float noise potential updates accumulate.
+      const double eps = 1e-7 * std::max(1.0, dist + tau_p_[p]);
+      if (r <= eps) continue;
+      AddFlow(q, p, -a.units);
+      used_q_[q] -= a.units;
+      sink_flow_[p] -= a.units;
+      metrics->warm_units_adopted -= static_cast<std::uint64_t>(a.units);
+      a.units = 0;
+    }
+    for (const Adopted& a : adopted) {
+      if (a.units == 0) continue;
+      const auto q = static_cast<std::size_t>(a.q);
+      const auto p = static_cast<std::size_t>(a.p);
+      const Point p_pos = problem_.customers[p];
+      const double held = Distance(problem_.providers[q].pos, p_pos);
+      bool contested = false;
+      for (std::size_t other = 0; other < nq_; ++other) {
+        if (other == q) continue;
+        if (Distance(problem_.providers[other].pos, p_pos) < held) {
+          contested = true;
+          break;
+        }
+      }
+      if (!contested) continue;
+      AddFlow(q, p, -a.units);
+      used_q_[q] -= a.units;
+      sink_flow_[p] -= a.units;
+      metrics->warm_units_adopted -= static_cast<std::uint64_t>(a.units);
+    }
+    tau_t_ = 0.0;
+  }
+
+  // min over customers p of dist(q, p) + tau_p[p], except that the caller
+  // only needs values below `cutoff` (q's current tau_q): anything >=
+  // cutoff certifies the dual as-is, so cells bounded by mindist + cell
+  // floor >= best are skipped wholesale. Customers q itself serves need no
+  // exclusion: their arcs were tightened to dist + tau_p == tau_q, so they
+  // cap the min at exactly the cutoff without ever clamping it. Exhaustive
+  // walk, no ring ordering — repairs run once per solve, not per pop.
+  double TauAugmentedNn(std::size_t q, double cutoff, Metrics* metrics) {
+    const Point q_pos = problem_.providers[q].pos;
+    double best = cutoff;
+    if (hier_floors_) {
+      const HierarchicalGrid& grid = *hier_;
+      for (const std::int32_t cc : grid.nonempty_coarse()) {
+        const auto c = static_cast<std::size_t>(cc);
+        if (MinDist(q_pos, grid.CoarseRect(c)) + hier_floors_->CoarseFloor(c) >= best) continue;
+        const std::size_t fine_end = grid.fine_end(c);
+        for (std::size_t f = grid.fine_begin(c); f < fine_end; ++f) {
+          if (grid.fine_cell_begin(f) == grid.fine_cell_end(f)) continue;
+          if (MinDist(q_pos, grid.FineRect(f)) + hier_floors_->FineFloor(f) >= best) continue;
+          best = SliceMinTau(q_pos, grid.FineCell(f), hier_floors_->values(), best, metrics);
+        }
+      }
+      return best;
+    }
+    if (tau_floors_) {
+      for (const std::int32_t cc : grid_->nonempty_cells()) {
+        const auto c = static_cast<std::size_t>(cc);
+        if (MinDist(q_pos, grid_->CellRect(c)) + tau_floors_->CellFloor(c) >= best) continue;
+        best = SliceMinTau(q_pos, grid_->Cell(c), tau_floors_->values(), best, metrics);
+      }
+      return best;
+    }
+    // Index-free fallback (legacy dense / no-floor configs): scan all of P.
+    for (std::size_t p = 0; p < np_; ++p) {
+      metrics->distances_computed += 1;
+      best = std::min(best, Distance(q_pos, problem_.customers[p]) + tau_p_[p]);
+    }
+    return best;
+  }
+
+  double SliceMinTau(const Point& q_pos, const UniformGrid::CellSlice& slice,
+                     const double* tau_values, double best, Metrics* metrics) {
+    const double* taus = tau_values + slice.first_slot;
+    metrics->distances_computed += slice.count;
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      best = std::min(best, Distance(q_pos, Point{slice.xs[i], slice.ys[i]}) + taus[i]);
+    }
+    return best;
+  }
 
   // One Dijkstra run over the residual graph with reduced costs; returns
   // the shortest-path cost to the sink. Fills `touched_` with de-heaped
@@ -214,11 +485,16 @@ class SspaSolver {
           continue;
         }
         ++metrics->dijkstra_relaxes;
-        // p with sink residual completes an s~>q->p->t path of cost `cand`
-        // (tau(p) >= 0, so the p->t reduced cost is 0): `cand` upper-bounds
-        // this run's shortest-path cost, which arms the ring early exit
-        // even before the sink holds a tentative label.
-        if (cand < run_ub_ && sink_flow_[p] < problem_.weight(p)) run_ub_ = cand;
+        // p with sink residual completes an s~>q->p->t path of cost
+        // cand + rc(p->t): that upper-bounds this run's shortest-path
+        // cost, which arms the ring early exit even before the sink holds
+        // a tentative label. rc(p->t) is 0 whenever tau_t is 0 (cold and
+        // flow-adopting warm starts alike); duals-only warm starts carry
+        // tau_t = max tau_p, so there it is tau_t - tau_p >= 0.
+        if (sink_flow_[p] < problem_.weight(p)) {
+          const double through = cand + std::max(tau_t_ - tau_p_[p], 0.0);
+          if (through < run_ub_) run_ub_ = through;
+        }
         Relax(static_cast<int>(nq_ + p), cand, static_cast<int>(q));
       }
     }
@@ -267,10 +543,14 @@ class SspaSolver {
         const double cand = std::max(std::sqrt(d2[i]) + base + tau_p_[p], alpha_[q]);
         ++metrics->distances_computed;
         ++metrics->dijkstra_relaxes;
-        // p with sink residual completes an s~>q->p->t path of cost `cand`
-        // (tau(p) >= 0, so the p->t reduced cost is 0): `cand` upper-bounds
-        // this run's shortest-path cost, arming every downstream bound.
-        if (cand < run_ub_ && sink_flow_[p] < problem_.weight(p)) run_ub_ = cand;
+        // p with sink residual completes an s~>q->p->t path of cost
+        // cand + rc(p->t), arming every downstream bound (rc(p->t) is
+        // tau_t - tau_p >= 0, with tau_t = 0 outside duals-only warm
+        // starts — see RelaxSlice).
+        if (sink_flow_[p] < problem_.weight(p)) {
+          const double through = cand + std::max(tau_t_ - tau_p_[p], 0.0);
+          if (through < run_ub_) run_ub_ = through;
+        }
         Relax(static_cast<int>(nq_ + p), cand, static_cast<int>(q));
       }
     }
@@ -538,10 +818,16 @@ class SspaSolver {
   }
 
   void RelaxCustomer(std::size_t p, Metrics* metrics) {
-    // Sink edge (cost 0, reduced -tau_p which is 0 while unsaturated).
+    // Sink edge (cost 0, reduced tau_t - tau_p). With tau_t = 0 — cold
+    // and flow-adopting warm starts — the clamp relaxes every unsaturated
+    // customer at +0, making each run target the nearest deficit (the
+    // transportation-SSP reading in AdoptFlow's comment). Duals-only warm
+    // starts set tau_t = max tau_p, so there the reduced cost is a true
+    // tau_t - tau_p >= 0.
     if (sink_flow_[p] < problem_.weight(p)) {
       ++metrics->dijkstra_relaxes;
-      Relax(Sink(), alpha_[nq_ + p] + std::max(-tau_p_[p], 0.0), static_cast<int>(nq_ + p));
+      Relax(Sink(), alpha_[nq_ + p] + std::max(tau_t_ - tau_p_[p], 0.0),
+            static_cast<int>(nq_ + p));
     }
     // Reverse edges toward providers currently serving p.
     const Point p_pos = problem_.customers[p];
@@ -727,6 +1013,8 @@ class SspaSolver {
   std::unique_ptr<HierTauTable> hier_floors_;
   std::unique_ptr<PrivateHierSweep> hier_private_;  // hier ring scans, private flavour
   std::unique_ptr<HierCellSweep> hier_sweep_;       // ... shared-frontier flavour
+  bool warm_ = false;     // initial_potentials adopted (RepairDuals will run)
+  double tau_t_ = 0.0;    // sink potential; 0 except duals-only warm starts (max seed tau_p)
   double min_tau_p_ = 0.0;
   double run_ub_ = kInf;  // best known complete-path cost this Dijkstra run
   std::vector<double> tau_q_;

@@ -27,6 +27,7 @@
 #define CCA_FLOW_SSPA_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/metrics.h"
 #include "core/matching.h"
@@ -36,6 +37,24 @@ namespace cca {
 
 class UniformGrid;
 class HierarchicalGrid;
+
+// Node potentials (duals) of one SSPA solve, indexed like the problem's
+// provider/customer arrays. Exported by every solve and accepted back as a
+// warm start for the next one: successive shortest paths from zero flow
+// are exact for *any* duals satisfying the feasibility condition
+//
+//   tau >= 0  and  dist(q, p) - tau_q[q] + tau_p[p] >= 0 for every pair,
+//
+// because the zero flow is trivially min-cost for its value under any
+// feasible duals. End-of-solve duals violate the pair condition on matched
+// edges (only their reverse direction was constrained), so a warm-started
+// solve opens with a feasibility-repair pass clamping each tau_q down to
+// min_p(dist + tau_p) where needed — see src/runtime/README.md for the
+// full soundness argument.
+struct SspaPotentials {
+  std::vector<double> tau_q;
+  std::vector<double> tau_p;
+};
 
 struct SspaConfig {
   // Pull relax candidates from the uniform grid with ring lower-bound early
@@ -102,11 +121,44 @@ struct SspaConfig {
   std::size_t hier_split_threshold = 0;
   // Prebuilt hierarchical grid, same ownership contract as shared_grid.
   const HierarchicalGrid* shared_hier_grid = nullptr;
+  // Warm start (src/runtime/engine.h AssignmentEngine): duals to seed the
+  // solve with, typically a previous solve's SspaResult::potentials after
+  // the point sets were perturbed. Sizes must match the problem's provider
+  // and customer counts; negative entries are clamped to zero. The solver
+  // runs a feasibility-repair pass before the first Dijkstra (repaired
+  // providers are counted in Metrics::dual_repairs), so any dual vector of
+  // the right shape is safe — quality only affects speed, never the
+  // matching cost. Null = cold start from zero duals.
+  const SspaPotentials* initial_potentials = nullptr;
+  // Flow-carrying warm start: the previous solve's matching, re-expressed
+  // in *this* problem's indices (pairs whose endpoints were removed must be
+  // dropped by the caller; out-of-range or over-capacity pairs are ignored
+  // defensively). Surviving pairs are adopted as initial flow
+  // (Metrics::warm_units_adopted) and the duals are repaired around them in
+  // five single-pass steps (AdoptFlow in sspa.cc): adopt; tighten each
+  // adopted customer's tau_p until its serving arc is tight; clamp each
+  // tau_q forward-feasible; release any adopted pair a clamp left with
+  // positive reduced cost; and release every *contested* pair — one whose
+  // customer has a strictly closer non-serving provider — because churn
+  // (freed capacity at a full provider, or a provider arrival) can turn
+  // exactly those into negative residual cycles that successive shortest
+  // paths would never cancel. Only the remaining gamma deficit is then
+  // re-augmented, which is what makes a small-perturbation re-solve cheap
+  // (duals alone cannot: successive shortest paths from zero flow redo all
+  // gamma augmentations whatever the seeds). Adoption applies in the
+  // ample-capacity regime (gamma == total weight); capacity-limited solves
+  // fall back to duals-only warm start, exact but not faster —
+  // src/runtime/README.md has the full argument. Ignored unless
+  // initial_potentials is set.
+  const Matching* initial_matching = nullptr;
 };
 
 struct SspaResult {
   Matching matching;
   Metrics metrics;
+  // Final duals, feasible for this solve's flow; feed them back through
+  // SspaConfig::initial_potentials to warm-start a follow-up solve.
+  SspaPotentials potentials;
   std::uint64_t conceptual_edges = 0;  // |Q| * |P|
 };
 

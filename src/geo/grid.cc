@@ -162,24 +162,70 @@ CellTauTable::CellTauTable(const UniformGrid& grid)
   }
 }
 
+CellTauTable::CellTauTable(const UniformGrid& grid, const std::vector<double>& initial)
+    : grid_(&grid),
+      values_(grid.size()),
+      floors_(grid.num_cells(), std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[grid.slot_of_point(i)] = initial[i];
+  }
+  for (const std::int32_t c : grid.nonempty_cells()) {
+    const auto cell = static_cast<std::size_t>(c);
+    double floor = values_[grid.cell_begin(cell)];
+    for (std::size_t s = grid.cell_begin(cell) + 1; s < grid.cell_end(cell); ++s) {
+      floor = std::min(floor, values_[s]);
+    }
+    floors_[cell] = floor;
+  }
+  // Cached global starts stale; the first GlobalFloor() call rescans.
+  global_dirty_ = !grid.nonempty_cells().empty();
+}
+
 void CellTauTable::Raise(std::size_t point_id, double value) {
+  if (value <= values_[grid_->slot_of_point(point_id)]) {
+    return;  // monotone contract: never lower a value
+  }
+  Set(point_id, value);
+}
+
+void CellTauTable::Remove(std::size_t point_id) {
+  Set(point_id, std::numeric_limits<double>::infinity());
+}
+
+void CellTauTable::Set(std::size_t point_id, double value) {
   const std::size_t slot = grid_->slot_of_point(point_id);
   const double old = values_[slot];
-  if (value <= old) return;  // monotone contract: never lower a value
+  if (value == old) return;
   values_[slot] = value;
   const std::size_t cell = grid_->cell_of_point(point_id);
-  // Only the cell's minimum can move the floor; other residents' raises
-  // leave it untouched (old > floor means somebody else holds the min).
-  if (old > floors_[cell]) return;
-  const std::size_t end = grid_->cell_end(cell);
-  double floor = values_[grid_->cell_begin(cell)];
-  for (std::size_t s = grid_->cell_begin(cell) + 1; s < end; ++s) {
-    floor = std::min(floor, values_[s]);
+  double floor = floors_[cell];
+  if (value < floor) {
+    // New cell minimum: no rescan needed, and the cached global can only
+    // move down to the same value.
+    floor = value;
+  } else if (old <= floors_[cell]) {
+    // The old value held the cell's minimum (old > floor means somebody
+    // else holds it and the floor is unaffected): rescan the residents.
+    // Removed residents read +infinity, so a fully-removed cell floors at
+    // +infinity exactly like an empty one.
+    const std::size_t end = grid_->cell_end(cell);
+    floor = values_[grid_->cell_begin(cell)];
+    for (std::size_t s = grid_->cell_begin(cell) + 1; s < end; ++s) {
+      floor = std::min(floor, values_[s]);
+    }
   }
   if (floor != floors_[cell]) {
-    // The global floor is the min over cell floors; it can only move when
-    // the cell holding it moves, so defer the rescan until someone asks.
-    if (floors_[cell] == global_floor_) global_dirty_ = true;
+    if (!global_dirty_) {
+      if (floor < global_floor_) {
+        // Lowered below the cached global: the new global is exactly this.
+        global_floor_ = floor;
+      } else if (floors_[cell] == global_floor_) {
+        // The global floor is the min over cell floors; it can only move
+        // when the cell holding it moves, so defer the rescan until
+        // someone asks.
+        global_dirty_ = true;
+      }
+    }
     floors_[cell] = floor;
   }
 }

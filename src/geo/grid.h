@@ -210,14 +210,36 @@ class UniformGrid {
 // before the incremental recompute lands. This class keeps floors *exact*
 // after every Raise, but consumers only ever rely on the lower-bound
 // direction.
+// Population edits (warm-started serving engines, src/runtime/engine.h):
+// `Remove` masks a resident out of every floor (its value becomes
+// +infinity, so kernels streaming values() reject it for free) and
+// `Insert` re-admits one at an arbitrary value — both restore floor
+// exactness, including *lowering* floors, which the in-solve Raise cascade
+// never does. The contract is temporal, not structural: population edits
+// happen between solves, while a solve in flight only ever calls the
+// monotone Raise (src/geo/README.md).
 class CellTauTable {
  public:
   explicit CellTauTable(const UniformGrid& grid);
+  // Seeded construction for warm starts: `initial[i]` is the starting
+  // value of point id `i` (must cover every indexed point; values are
+  // stored slot-ordered internally). Floors start exact over the seeds.
+  CellTauTable(const UniformGrid& grid, const std::vector<double>& initial);
 
   // Raises point `point_id` to `value` (must be >= the stored value;
   // lower values are ignored, keeping the monotone contract) and restores
   // the exactness of the resident cell's floor.
   void Raise(std::size_t point_id, double value);
+
+  // Removes point `point_id` from the population: its value becomes
+  // +infinity and its cell's floor is refloored exactly (a cell whose
+  // residents are all removed reads +infinity, like an empty cell).
+  void Remove(std::size_t point_id);
+
+  // (Re)admits point `point_id` at `value` — the inverse of Remove, also
+  // usable to overwrite a live value in either direction. Floors (cell and
+  // global) are lowered or refloored exactly as needed.
+  void Insert(std::size_t point_id, double value) { Set(point_id, value); }
 
   // Exact min value over the residents of `cell_index` (+infinity when the
   // cell is empty).
@@ -232,6 +254,10 @@ class CellTauTable {
   const double* values() const { return values_.data(); }
 
  private:
+  // Shared write path: assigns the value and restores cell/global floor
+  // exactness in whichever direction the assignment moved the minimum.
+  void Set(std::size_t point_id, double value);
+
   const UniformGrid* grid_;
   std::vector<double> values_;  // slot-ordered, aligned with grid slices
   std::vector<double> floors_;  // per cell; +infinity when empty

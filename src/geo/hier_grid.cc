@@ -202,36 +202,92 @@ HierTauTable::HierTauTable(const HierarchicalGrid& grid)
   }
 }
 
+HierTauTable::HierTauTable(const HierarchicalGrid& grid, const std::vector<double>& initial)
+    : grid_(&grid),
+      values_(grid.size()),
+      fine_floors_(grid.num_fine(), std::numeric_limits<double>::infinity()),
+      coarse_floors_(grid.num_coarse(), std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[grid.slot_of_point(i)] = initial[i];
+  }
+  for (std::size_t f = 0; f < grid.num_fine(); ++f) {
+    const std::size_t begin = grid.fine_cell_begin(f);
+    const std::size_t end = grid.fine_cell_end(f);
+    if (begin == end) continue;
+    double floor = values_[begin];
+    for (std::size_t s = begin + 1; s < end; ++s) floor = std::min(floor, values_[s]);
+    fine_floors_[f] = floor;
+  }
+  for (const std::int32_t c : grid.nonempty_coarse()) {
+    const auto coarse = static_cast<std::size_t>(c);
+    double floor = std::numeric_limits<double>::infinity();
+    for (std::size_t f = grid.fine_begin(coarse); f < grid.fine_end(coarse); ++f) {
+      floor = std::min(floor, fine_floors_[f]);
+    }
+    coarse_floors_[coarse] = floor;
+  }
+  // Cached global starts stale; the first GlobalFloor() call rescans.
+  global_dirty_ = !grid.nonempty_coarse().empty();
+}
+
 void HierTauTable::Raise(std::size_t point_id, double value) {
+  if (value <= values_[grid_->slot_of_point(point_id)]) {
+    return;  // monotone contract: never lower a value
+  }
+  Set(point_id, value);
+}
+
+void HierTauTable::Remove(std::size_t point_id) {
+  Set(point_id, std::numeric_limits<double>::infinity());
+}
+
+void HierTauTable::Set(std::size_t point_id, double value) {
   const std::size_t slot = grid_->slot_of_point(point_id);
   const double old = values_[slot];
-  if (value <= old) return;  // monotone contract: never lower a value
+  if (value == old) return;
   values_[slot] = value;
   const std::size_t fine = grid_->fine_of_point(point_id);
-  // Only the fine cell's minimum can move its floor (old > floor means
-  // another resident holds the min).
-  if (old > fine_floors_[fine]) return;
-  const std::size_t end = grid_->fine_cell_end(fine);
-  double floor = values_[grid_->fine_cell_begin(fine)];
-  for (std::size_t s = grid_->fine_cell_begin(fine) + 1; s < end; ++s) {
-    floor = std::min(floor, values_[s]);
+  double fine_floor = fine_floors_[fine];
+  if (value < fine_floor) {
+    // New fine minimum: no rescan needed.
+    fine_floor = value;
+  } else if (old <= fine_floors_[fine]) {
+    // The old value held the fine cell's minimum (old > floor means
+    // another resident holds it): rescan. Removed residents read
+    // +infinity, so a fully-removed fine cell floors at +infinity.
+    const std::size_t end = grid_->fine_cell_end(fine);
+    fine_floor = values_[grid_->fine_cell_begin(fine)];
+    for (std::size_t s = grid_->fine_cell_begin(fine) + 1; s < end; ++s) {
+      fine_floor = std::min(fine_floor, values_[s]);
+    }
   }
-  if (floor == fine_floors_[fine]) return;
+  if (fine_floor == fine_floors_[fine]) return;
   const double old_fine = fine_floors_[fine];
-  fine_floors_[fine] = floor;
+  fine_floors_[fine] = fine_floor;
   // Cascade one level up: the coarse floor is the min over child fine
   // floors, so it only moves when the child holding it moved.
   const std::size_t coarse = grid_->coarse_of_point(point_id);
-  if (old_fine > coarse_floors_[coarse]) return;
-  double coarse_floor = std::numeric_limits<double>::infinity();
-  const std::size_t fine_end = grid_->fine_end(coarse);
-  for (std::size_t f = grid_->fine_begin(coarse); f < fine_end; ++f) {
-    coarse_floor = std::min(coarse_floor, fine_floors_[f]);
+  double coarse_floor = coarse_floors_[coarse];
+  if (fine_floor < coarse_floor) {
+    coarse_floor = fine_floor;
+  } else if (old_fine <= coarse_floors_[coarse]) {
+    coarse_floor = std::numeric_limits<double>::infinity();
+    const std::size_t fine_end = grid_->fine_end(coarse);
+    for (std::size_t f = grid_->fine_begin(coarse); f < fine_end; ++f) {
+      coarse_floor = std::min(coarse_floor, fine_floors_[f]);
+    }
   }
   if (coarse_floor != coarse_floors_[coarse]) {
-    // Same one more level up: the global floor only moves with the coarse
-    // cell that held it; defer the rescan until someone asks.
-    if (coarse_floors_[coarse] == global_floor_) global_dirty_ = true;
+    if (!global_dirty_) {
+      if (coarse_floor < global_floor_) {
+        // Lowered below the cached global: the new global is exactly this.
+        global_floor_ = coarse_floor;
+      } else if (coarse_floors_[coarse] == global_floor_) {
+        // The global floor only moves with the coarse cell that held it;
+        // defer the rescan until someone asks.
+        global_dirty_ = true;
+      }
+    }
     coarse_floors_[coarse] = coarse_floor;
   }
 }

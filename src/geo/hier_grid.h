@@ -191,14 +191,29 @@ class HierarchicalGrid {
 // child f, and every floor is a lower bound on its residents' values — is
 // maintained exactly (src/geo/README.md spells out why that makes the
 // coarse-tail rejection sound under in-flight monotone raises).
+// Population edits follow the CellTauTable contract (src/geo/grid.h):
+// `Remove`/`Insert` mask residents out of (or re-admit them into) every
+// floor level with exact refloors in both directions, and are only legal
+// *between* solves — a solve in flight stays on the monotone Raise.
 class HierTauTable {
  public:
   explicit HierTauTable(const HierarchicalGrid& grid);
+  // Seeded construction for warm starts: `initial[i]` seeds point id `i`;
+  // fine and coarse floors start exact over the seeds.
+  HierTauTable(const HierarchicalGrid& grid, const std::vector<double>& initial);
 
   // Raises point `point_id` to `value` (lower values are ignored, keeping
   // the monotone contract) and restores the exactness of its fine and
   // coarse floors.
   void Raise(std::size_t point_id, double value);
+
+  // Removes point `point_id` from the population: its value becomes
+  // +infinity and the fine -> coarse -> global floors refloor exactly.
+  void Remove(std::size_t point_id);
+
+  // (Re)admits point `point_id` at `value`, lowering or reflooring every
+  // level as needed.
+  void Insert(std::size_t point_id, double value) { Set(point_id, value); }
 
   double FineFloor(std::size_t f) const { return fine_floors_[f]; }
   double CoarseFloor(std::size_t c) const { return coarse_floors_[c]; }
@@ -211,6 +226,10 @@ class HierTauTable {
   const double* values() const { return values_.data(); }
 
  private:
+  // Shared write path: assigns the value and restores fine/coarse/global
+  // floor exactness in whichever direction the minima moved.
+  void Set(std::size_t point_id, double value);
+
   const HierarchicalGrid* grid_;
   std::vector<double> values_;         // slot-ordered
   std::vector<double> fine_floors_;    // per fine cell; +infinity when empty

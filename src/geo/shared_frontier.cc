@@ -13,8 +13,21 @@ SharedFrontier::SharedFrontier(const UniformGrid& grid, const std::vector<Point>
   }
 }
 
+void SharedFrontier::Unsubscribe(int q) {
+  Subscriber& sub = subs_[static_cast<std::size_t>(q)];
+  sub.active = false;
+  // Release the slot, not just the delivery flag: the candidate heap and
+  // the per-cell delivery map are the subscriber's footprint, and a
+  // frontier outlives its retirees (greedy retires providers one by one
+  // while the group keeps sweeping).
+  sub.heap = {};
+  sub.delivered.clear();
+  sub.delivered.shrink_to_fit();
+}
+
 void SharedFrontier::Refine(int q) {
   Subscriber& sub = subs_[static_cast<std::size_t>(q)];
+  if (!sub.active) return;  // terminated stream: nothing to expand into
   while (!sub.walker.exhausted() &&
          (sub.heap.empty() || sub.heap.top().dist > sub.walker.TailMinDist())) {
     const auto cell = sub.walker.NextCell();
@@ -25,11 +38,10 @@ void SharedFrontier::Refine(int q) {
     if (sub.delivered[id]) continue;
     ++stats_.cell_fetches;
     // One fetch, every active subscriber that still lacks the cell gets
-    // its points — the grouped-ANN delivery rule. The demander receives
-    // it even when unsubscribed, so a retired member's stream stays exact
-    // (it merely stops amortising with the group).
+    // its points — the grouped-ANN delivery rule. The demander is active
+    // by construction (Refine returns early for terminated streams).
     for (Subscriber& member : subs_) {
-      if ((!member.active && &member != &sub) || member.delivered[id]) continue;
+      if (!member.active || member.delivered[id]) continue;
       member.delivered[id] = 1;
       ++stats_.fanout;
       for (std::size_t i = 0; i < cell->slice.count; ++i) {

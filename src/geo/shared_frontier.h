@@ -14,9 +14,8 @@
 //     handed the cell yet (`fanout` counts the deliveries). A subscriber's
 //     walker skips cells it already received, so while subscribers stay
 //     active a cell is fetched at most once per frontier no matter how
-//     many of them need it. (A retired subscriber stops receiving shared
-//     deliveries; if its stream is consumed anyway it stays exact but
-//     re-charges cells the group materialised after it left.)
+//     many of them need it. (Unsubscribing *terminates* a stream and
+//     releases its queued candidates; see `Unsubscribe`.)
 //   * `SharedCellSweep` is the re-scannable flavour for relax-style
 //     consumers (the SSPA grid relax re-scans each provider's
 //     neighbourhood on every pop with fresh bounds, so points cannot be
@@ -58,7 +57,7 @@ struct SharedFrontierStats {
 
 // One shared sweep serving exact per-subscriber NN streams. Subscribers
 // are fixed at construction (callers group nearby providers, e.g. by
-// Hilbert order); `Unsubscribe` removes one from future deliveries.
+// Hilbert order); `Unsubscribe` terminates one and releases its state.
 class SharedFrontier {
  public:
   SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries);
@@ -66,12 +65,15 @@ class SharedFrontier {
   std::size_t num_subscribers() const { return subs_.size(); }
   bool subscribed(int q) const { return subs_[static_cast<std::size_t>(q)].active; }
 
-  // Stops multiplexing other members' fetches to `q` (provider retired:
-  // capacity exhausted or solver done with its stream). Other members'
-  // streams are unaffected. Calling NextNN/PeekDistance on an
-  // unsubscribed member is still exact — its own demand always delivers
-  // to itself — it just no longer amortises with the group.
-  void Unsubscribe(int q) { subs_[static_cast<std::size_t>(q)].active = false; }
+  // Terminates `q`'s stream (provider retired: capacity exhausted or the
+  // solver is done with it) and releases its subscription slot — the
+  // queued candidate heap and the per-cell delivery map, which together
+  // dominate a subscriber's footprint and previously leaked for the rest
+  // of the frontier's lifetime. Other members' streams are unaffected;
+  // they also stop paying fanout work into `q`. After unsubscribing,
+  // NextNN(q) returns nullopt and PeekDistance(q) is +infinity — the
+  // stream is over, not merely un-amortised.
+  void Unsubscribe(int q);
 
   // Next nearest point of subscriber `q` as (point id, distance), in
   // non-decreasing distance (ties among fetched candidates in ascending
@@ -83,6 +85,15 @@ class SharedFrontier {
   double PeekDistance(int q);
 
   const SharedFrontierStats& stats() const { return stats_; }
+
+  // Test-only introspection: queued candidates and delivery-map capacity
+  // of `q`'s slot, both zero once Unsubscribe released it.
+  std::size_t queued_candidates(int q) const {
+    return subs_[static_cast<std::size_t>(q)].heap.size();
+  }
+  std::size_t delivered_map_capacity(int q) const {
+    return subs_[static_cast<std::size_t>(q)].delivered.capacity();
+  }
 
  private:
   struct Subscriber {

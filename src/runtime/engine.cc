@@ -1,0 +1,235 @@
+#include "runtime/engine.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+namespace cca {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Swap-removes index `idx` from a dense vector, preserving alignment with
+// the sibling arrays (the caller fixes up the id -> index map).
+template <typename T>
+void SwapRemove(std::vector<T>* v, std::size_t idx) {
+  (*v)[idx] = std::move(v->back());
+  v->pop_back();
+}
+}  // namespace
+
+AssignmentEngine::AssignmentEngine(const Options& options) : options_(options) {}
+
+AssignmentEngine::Id AssignmentEngine::InsertCustomer(const Point& pos, std::int32_t weight) {
+  assert(weight >= 1 && "customer weight must be positive");
+  // The weights array stays empty while every customer is unit-weight so
+  // the solver keeps its flat serving_ fast path; the first non-unit
+  // weight materialises it.
+  if (weight != 1 && problem_.weights.empty() && !problem_.customers.empty()) {
+    problem_.weights.assign(problem_.customers.size(), 1);
+  }
+  if (weight != 1 || !problem_.weights.empty()) {
+    if (problem_.weights.size() < problem_.customers.size()) {
+      problem_.weights.assign(problem_.customers.size(), 1);
+    }
+    problem_.weights.push_back(weight);
+  }
+  // Smallest dual feasible against every provider: tau_p >= tau_q - dist
+  // for all q keeps the existing provider duals untouched. Before the
+  // first solve every dual is zero anyway.
+  problem_.customers.push_back(pos);
+  duals_.tau_p.push_back(have_solution_ ? WarmCustomerDual(pos) : 0.0);
+  nn_slot_.push_back(-1);
+  ++nn_pending_;
+  const Id id = next_id_++;
+  customer_ids_.push_back(id);
+  customer_index_.emplace(id, problem_.customers.size() - 1);
+  customers_dirty_ = true;
+  return id;
+}
+
+AssignmentEngine::Id AssignmentEngine::InsertProvider(const Point& pos, std::int32_t capacity) {
+  assert(capacity >= 0 && "provider capacity must be non-negative");
+  // Largest dual feasible against every customer: tau_q <= dist + tau_p
+  // for all p. The in-solver repair pass would catch any overestimate, but
+  // seeding exactly keeps the repair a no-op for everyone else.
+  const double seed = have_solution_ ? WarmProviderDual(pos) : 0.0;
+  problem_.providers.push_back(Provider{pos, capacity});
+  duals_.tau_q.push_back(seed);
+  const Id id = next_id_++;
+  provider_ids_.push_back(id);
+  provider_index_.emplace(id, problem_.providers.size() - 1);
+  return id;
+}
+
+bool AssignmentEngine::RemoveCustomer(Id id) {
+  const auto it = customer_index_.find(id);
+  if (it == customer_index_.end()) return false;
+  const std::size_t idx = it->second;
+  // Mask the departed customer out of the retained NN floors so provider
+  // seeds computed before the next rebuild cannot lean on it
+  // (CellTauTable::Remove refloors its cell exactly).
+  if (nn_slot_[idx] >= 0) {
+    if (nn_floors_) nn_floors_->Remove(static_cast<std::size_t>(nn_slot_[idx]));
+  } else {
+    --nn_pending_;
+  }
+  customer_index_.erase(it);
+  SwapRemove(&problem_.customers, idx);
+  if (!problem_.weights.empty()) SwapRemove(&problem_.weights, idx);
+  SwapRemove(&duals_.tau_p, idx);
+  SwapRemove(&nn_slot_, idx);
+  SwapRemove(&customer_ids_, idx);
+  if (idx < customer_ids_.size()) customer_index_[customer_ids_[idx]] = idx;
+  customers_dirty_ = true;
+  return true;
+}
+
+bool AssignmentEngine::RemoveProvider(Id id) {
+  const auto it = provider_index_.find(id);
+  if (it == provider_index_.end()) return false;
+  const std::size_t idx = it->second;
+  provider_index_.erase(it);
+  SwapRemove(&problem_.providers, idx);
+  SwapRemove(&duals_.tau_q, idx);
+  SwapRemove(&provider_ids_, idx);
+  if (idx < provider_ids_.size()) provider_index_[provider_ids_[idx]] = idx;
+  // Provider churn never touches the customer indexes: dropping a dual
+  // only removes constraints, so the remaining duals stay feasible.
+  return true;
+}
+
+double AssignmentEngine::WarmCustomerDual(const Point& pos) const {
+  double seed = 0.0;
+  for (std::size_t q = 0; q < problem_.providers.size(); ++q) {
+    seed = std::max(seed, duals_.tau_q[q] - Distance(problem_.providers[q].pos, pos));
+  }
+  return seed;
+}
+
+double AssignmentEngine::WarmProviderDual(const Point& pos) const {
+  double best = kInf;
+  if (nn_grid_ && nn_floors_) {
+    // Tau-augmented NN over the last snapshot: cells whose geometric lower
+    // bound plus dual floor cannot beat the best candidate are skipped
+    // wholesale; removed residents read +infinity and never win.
+    for (const std::int32_t cc : nn_grid_->nonempty_cells()) {
+      const auto c = static_cast<std::size_t>(cc);
+      if (MinDist(pos, nn_grid_->CellRect(c)) + nn_floors_->CellFloor(c) >= best) continue;
+      const UniformGrid::CellSlice slice = nn_grid_->Cell(c);
+      const double* taus = nn_floors_->values() + slice.first_slot;
+      for (std::size_t i = 0; i < slice.count; ++i) {
+        best = std::min(best, Distance(pos, Point{slice.xs[i], slice.ys[i]}) + taus[i]);
+      }
+    }
+  }
+  if (nn_pending_ > 0) {
+    // Customers inserted after the snapshot live outside the grid until
+    // the next rebuild; their seeds are already feasible duals.
+    for (std::size_t p = 0; p < nn_slot_.size(); ++p) {
+      if (nn_slot_[p] >= 0) continue;
+      best = std::min(best, Distance(pos, problem_.customers[p]) + duals_.tau_p[p]);
+    }
+  }
+  return best == kInf ? 0.0 : std::max(best, 0.0);
+}
+
+void AssignmentEngine::RebuildIndexesIfStale() {
+  if (!customers_dirty_ && nn_grid_) return;
+  // Population changed (or first solve): the shared solve index and the
+  // engine-side NN snapshot are rebuilt over the current customers. The
+  // grids use problem indices as point ids, so a rebuild — not tombstone
+  // surgery — keeps every id dense; the version flag makes it O(1) to
+  // detect that nothing changed and skip all of this.
+  const SspaConfig& cfg = options_.sspa;
+  solve_grid_.reset();
+  solve_hier_.reset();
+  if (cfg.use_cell_floors && cfg.use_hierarchy) {
+    HierarchicalGrid::Options opts;
+    const double fine = cfg.grid_target_per_cell > 0.0 ? cfg.grid_target_per_cell
+                                                       : UniformGrid::kDefaultTargetPerCell;
+    opts.fine_target_per_cell = fine;
+    opts.coarse_target_per_cell = 16.0 * fine;
+    opts.split_threshold = cfg.hier_split_threshold;
+    solve_hier_ = std::make_unique<HierarchicalGrid>(problem_.customers, opts);
+  } else if (cfg.use_grid || cfg.use_cell_floors) {
+    solve_grid_ = std::make_unique<UniformGrid>(problem_.customers, cfg.grid_target_per_cell);
+  }
+  nn_grid_ = std::make_unique<UniformGrid>(problem_.customers);
+  nn_floors_.reset();  // reseeded from fresh duals after the solve
+  for (std::size_t i = 0; i < nn_slot_.size(); ++i) {
+    nn_slot_[i] = static_cast<std::int32_t>(i);
+  }
+  nn_pending_ = 0;
+  customers_dirty_ = false;
+}
+
+AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
+  RebuildIndexesIfStale();
+  SspaConfig cfg = options_.sspa;
+  cfg.shared_grid = solve_grid_.get();
+  cfg.shared_hier_grid = solve_hier_.get();
+  const bool warm = options_.warm_start && have_solution_;
+  cfg.initial_potentials = warm ? &duals_ : nullptr;
+  // Previous flow remapped through the churn: pairs whose endpoints left
+  // drop out; the solver re-checks tightness and capacity on the rest.
+  Matching adopt;
+  if (warm) {
+    adopt.pairs.reserve(last_flow_.size());
+    for (const FlowRec& rec : last_flow_) {
+      const auto qi = provider_index_.find(rec.provider);
+      if (qi == provider_index_.end()) continue;
+      const auto pi = customer_index_.find(rec.customer);
+      if (pi == customer_index_.end()) continue;
+      adopt.Add(static_cast<std::int32_t>(qi->second), static_cast<std::int32_t>(pi->second),
+                rec.units, 0.0);
+    }
+    cfg.initial_matching = &adopt;
+  }
+  SspaResult res = SolveSspa(problem_, cfg);
+  ResolveOutcome out;
+  out.cost = res.matching.cost();
+  out.warm = warm;
+  out.metrics = res.metrics;
+  out.matching = std::move(res.matching);
+  if (warm) VerifyAgainstCold(cfg, out.cost);
+  duals_ = std::move(res.potentials);
+  last_flow_.clear();
+  last_flow_.reserve(out.matching.pairs.size());
+  for (const MatchPair& pair : out.matching.pairs) {
+    last_flow_.push_back(FlowRec{provider_ids_[static_cast<std::size_t>(pair.provider)],
+                                 customer_ids_[static_cast<std::size_t>(pair.customer)],
+                                 pair.units});
+  }
+  have_solution_ = true;
+  // Refresh the NN floors to this solve's duals (the grid itself only
+  // rebuilds on population change).
+  nn_floors_ = std::make_unique<CellTauTable>(*nn_grid_, duals_.tau_p);
+  return out;
+}
+
+void AssignmentEngine::VerifyAgainstCold(const SspaConfig& warm_config, double warm_cost) {
+#ifdef NDEBUG
+  if (!options_.verify_cold) return;
+#endif
+  SspaConfig cold = warm_config;
+  cold.initial_potentials = nullptr;
+  cold.initial_matching = nullptr;
+  const SspaResult res = SolveSspa(problem_, cold);
+  const double cold_cost = res.matching.cost();
+  // Both solves are exact optima of the same instance; anything beyond
+  // summation-order float noise is a warm-start soundness bug.
+  const double tol = 1e-9 * std::max(1.0, std::abs(cold_cost));
+  if (std::abs(warm_cost - cold_cost) > tol) {
+    std::fprintf(stderr,
+                 "AssignmentEngine: warm resolve cost %.17g != cold solve cost %.17g "
+                 "(|Q|=%zu |P|=%zu)\n",
+                 warm_cost, cold_cost, problem_.providers.size(), problem_.customers.size());
+    std::abort();
+  }
+}
+
+}  // namespace cca

@@ -1,0 +1,161 @@
+// AssignmentEngine: a long-lived incremental serving engine over one
+// mutable CCA instance (the ROADMAP's dispatch-style workload).
+//
+// The batch solvers treat every problem as static: build indexes, solve,
+// throw everything away. A dispatch service (ride-hailing, delivery,
+// clinic triage) instead sees customers and providers arrive and leave and
+// must re-solve continuously. The engine keeps the problem state mutable
+// behind stable caller-visible ids and makes each `Resolve` cheap in two
+// ways:
+//
+//   * Warm-started duals *and flow*. Every solve exports its node
+//     potentials (SspaResult::potentials) and the next solve is seeded
+//     with them (SspaConfig::initial_potentials) together with the
+//     previous matching remapped through the churn
+//     (SspaConfig::initial_matching): pairs that survived and stayed tight
+//     are adopted as initial flow, so only the perturbed units are
+//     re-augmented. Between solves the engine keeps the dual vectors
+//     aligned with the point sets: removals drop the
+//     entry, an inserted customer is seeded at the smallest value feasible
+//     against every provider dual (max_q(tau_q - dist), clamped at 0), an
+//     inserted provider at the largest (a tau-augmented nearest-neighbour
+//     query, min_p(dist + tau_p), served by the retained cell-floor
+//     table). The solver's own repair pass remains the safety net, so
+//     seed quality affects only speed — never the matching
+//     (src/runtime/README.md has the soundness argument).
+//   * Index invalidation by population version. The customer grid (flat or
+//     hierarchical, per the configured solve strategy) is rebuilt only on
+//     a Resolve that follows a customer insert/remove and is shared with
+//     the solver via SspaConfig::shared_grid / shared_hier_grid; provider
+//     churn never invalidates it. The engine-side nearest-neighbour
+//     bookkeeping (grid + CellTauTable) follows the same policy, with
+//     customer removals masked incrementally via CellTauTable::Remove and
+//     post-snapshot inserts served from a linear side list until the next
+//     rebuild folds them in.
+//
+// Correctness anchor: a warm-started Resolve is cost-identical to a cold
+// solve of the same snapshot. Debug builds assert it on every Resolve
+// (Options::verify_cold forces the cross-check in release builds too); the
+// randomized churn suite (tests/test_engine_churn.cc) and
+// bench_engine_dispatch enforce it in CI.
+//
+// The engine is deliberately single-threaded: one mutable owner. For
+// concurrent read-only query serving over an immutable snapshot, see
+// QueryRunner (src/runtime/query_runner.h).
+#ifndef CCA_RUNTIME_ENGINE_H_
+#define CCA_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/matching.h"
+#include "core/problem.h"
+#include "flow/sspa.h"
+#include "geo/grid.h"
+#include "geo/hier_grid.h"
+
+namespace cca {
+
+class AssignmentEngine {
+ public:
+  // Stable handle for an inserted customer/provider; never reused.
+  using Id = std::int64_t;
+
+  struct Options {
+    // Base solve configuration. The engine owns the shared index and warm
+    // duals, so shared_grid / shared_hier_grid / initial_potentials are
+    // overwritten per Resolve; every other knob passes through.
+    SspaConfig sspa;
+    // Seed each solve with the previous solve's duals. Off = every
+    // Resolve is a cold solve (the A/B switch the churn suite and
+    // bench_engine_dispatch compare against).
+    bool warm_start = true;
+    // Re-solve cold after every warm Resolve and abort on a cost mismatch
+    // even in release builds (Debug builds always run this cross-check).
+    bool verify_cold = false;
+  };
+
+  AssignmentEngine() : AssignmentEngine(Options{}) {}
+  explicit AssignmentEngine(const Options& options);
+
+  // Population edits. Weight/capacity follow Problem's semantics (weight 1
+  // = unit customer; the weights array stays empty until a non-unit weight
+  // appears, keeping the solver on its unit fast path). Removals return
+  // false for unknown ids.
+  Id InsertCustomer(const Point& pos, std::int32_t weight = 1);
+  Id InsertProvider(const Point& pos, std::int32_t capacity);
+  bool RemoveCustomer(Id id);
+  bool RemoveProvider(Id id);
+
+  struct ResolveOutcome {
+    double cost = 0.0;
+    bool warm = false;  // previous duals seeded this solve
+    // Pairs index the engine's dense arrays as of this Resolve; map back
+    // to stable handles via customer_id() / provider_id().
+    Matching matching;
+    Metrics metrics;
+  };
+  // Solves the current snapshot (warm-started when a previous solution
+  // exists and Options::warm_start is on) and retains duals + indexes for
+  // the next round.
+  ResolveOutcome Resolve();
+
+  const Problem& problem() const { return problem_; }
+  std::size_t num_customers() const { return problem_.customers.size(); }
+  std::size_t num_providers() const { return problem_.providers.size(); }
+  Id customer_id(std::size_t index) const { return customer_ids_[index]; }
+  Id provider_id(std::size_t index) const { return provider_ids_[index]; }
+  bool has_solution() const { return have_solution_; }
+  // Duals retained from the last Resolve, aligned with problem()'s arrays
+  // (entries for points inserted since are their feasibility seeds).
+  const SspaPotentials& potentials() const { return duals_; }
+
+ private:
+  double WarmCustomerDual(const Point& pos) const;
+  double WarmProviderDual(const Point& pos) const;
+  void RebuildIndexesIfStale();
+  void VerifyAgainstCold(const SspaConfig& warm_config, double warm_cost);
+
+  Options options_;
+  Problem problem_;
+  std::vector<Id> customer_ids_;
+  std::vector<Id> provider_ids_;
+  std::unordered_map<Id, std::size_t> customer_index_;
+  std::unordered_map<Id, std::size_t> provider_index_;
+  Id next_id_ = 0;
+
+  // Duals aligned with problem_'s arrays at all times (zero-seeded before
+  // the first solve).
+  SspaPotentials duals_;
+  // Previous solve's flow keyed by stable ids, remapped to current indices
+  // at the next warm Resolve (pairs with departed endpoints drop out).
+  struct FlowRec {
+    Id provider;
+    Id customer;
+    std::int32_t units;
+  };
+  std::vector<FlowRec> last_flow_;
+  bool have_solution_ = false;
+
+  // Shared solve index over the customers, rebuilt only when the customer
+  // population changed since it was built (flat or hierarchical, matching
+  // the configured solve strategy).
+  std::unique_ptr<UniformGrid> solve_grid_;
+  std::unique_ptr<HierarchicalGrid> solve_hier_;
+  // Engine-side tau-augmented NN bookkeeping: a flat grid over the
+  // customers as of the last Resolve plus the cell floors of their duals.
+  // `nn_slot_[i]` is customer i's point id in that snapshot (-1 = inserted
+  // after it; served from the linear side scan until the next rebuild).
+  std::unique_ptr<UniformGrid> nn_grid_;
+  std::unique_ptr<CellTauTable> nn_floors_;
+  std::vector<std::int32_t> nn_slot_;
+  std::size_t nn_pending_ = 0;  // customers with nn_slot_ == -1 (side scan)
+  bool customers_dirty_ = true;
+};
+
+}  // namespace cca
+
+#endif  // CCA_RUNTIME_ENGINE_H_

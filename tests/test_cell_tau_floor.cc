@@ -127,6 +127,106 @@ TEST(CellTauFloorTest, ValuesAlignWithClusteredSlices) {
   }
 }
 
+// --- between-solve population edits (the AssignmentEngine contract) -----
+// Remove / Insert are legal only between solves; a solve in flight stays
+// on the monotone Raise. The contract is exact refloors in *both*
+// directions, including the cached global floor.
+
+TEST(CellTauFloorTest, SeededConstructionStartsExact) {
+  const auto pts = test::RandomPoints(300, 101);
+  const UniformGrid grid(pts, 4.0);
+  std::vector<double> by_id(pts.size());
+  Rng rng(5);
+  for (auto& v : by_id) v = rng.Uniform(0.0, 50.0);
+  CellTauTable table(grid, by_id);
+  double global = std::numeric_limits<double>::infinity();
+  for (const std::int32_t c : grid.nonempty_cells()) {
+    const auto cell = static_cast<std::size_t>(c);
+    EXPECT_EQ(table.CellFloor(cell), BruteFloor(grid, by_id, cell));
+    global = std::min(global, BruteFloor(grid, by_id, cell));
+    // Seeds land slot-ordered, aligned with the grid's clustered slices.
+    const UniformGrid::CellSlice slice = grid.Cell(cell);
+    for (std::size_t i = 0; i < slice.count; ++i) {
+      EXPECT_EQ(table.values()[slice.first_slot + i],
+                by_id[static_cast<std::size_t>(slice.ids[i])]);
+    }
+  }
+  EXPECT_EQ(table.GlobalFloor(), global);
+}
+
+TEST(CellTauFloorTest, RemoveRefloorsCellAndGlobalExactly) {
+  // One cell holding the global min plus a far cell: removing the min
+  // resident must raise the cell floor to the runner-up, and emptying the
+  // cell entirely must leave it at +infinity (like a never-occupied cell)
+  // with the global floor migrating to the survivors.
+  std::vector<Point> pts{{0, 0}, {1, 1}, {900, 900}};
+  const UniformGrid grid(pts, 2.0);
+  CellTauTable table(grid, {3.0, 8.0, 5.0});
+  const std::size_t cell_a = grid.cell_of_point(0);
+  ASSERT_EQ(cell_a, grid.cell_of_point(1));
+  ASSERT_NE(cell_a, grid.cell_of_point(2));
+  EXPECT_EQ(table.GlobalFloor(), 3.0);
+  table.Remove(0);
+  EXPECT_EQ(table.CellFloor(cell_a), 8.0);
+  EXPECT_EQ(table.GlobalFloor(), 5.0);
+  EXPECT_EQ(table.values()[grid.slot_of_point(0)],
+            std::numeric_limits<double>::infinity());
+  table.Remove(1);  // cell_a now fully removed
+  EXPECT_EQ(table.CellFloor(cell_a), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(table.GlobalFloor(), 5.0);
+  table.Remove(2);  // empty population: global floor drains to +infinity
+  EXPECT_EQ(table.GlobalFloor(), std::numeric_limits<double>::infinity());
+}
+
+TEST(CellTauFloorTest, InsertLowersFloorsAndReadmitsRemovedPoints) {
+  std::vector<Point> pts{{0, 0}, {1, 1}, {900, 900}};
+  const UniformGrid grid(pts, 2.0);
+  CellTauTable table(grid, {3.0, 8.0, 5.0});
+  const std::size_t cell_a = grid.cell_of_point(0);
+  // Unlike Raise, Insert may move a live value in either direction.
+  table.Insert(1, 1.0);
+  EXPECT_EQ(table.CellFloor(cell_a), 1.0);
+  EXPECT_EQ(table.GlobalFloor(), 1.0);
+  table.Insert(1, 9.0);  // back up: floor refloors to the other resident
+  EXPECT_EQ(table.CellFloor(cell_a), 3.0);
+  // Remove then re-admit — the engine's departure/arrival round trip.
+  table.Remove(0);
+  table.Remove(1);
+  ASSERT_EQ(table.CellFloor(cell_a), std::numeric_limits<double>::infinity());
+  table.Insert(0, 2.5);
+  EXPECT_EQ(table.CellFloor(cell_a), 2.5);
+  EXPECT_EQ(table.GlobalFloor(), 2.5);
+}
+
+TEST(CellTauFloorTest, RandomizedEditSequencesKeepFloorsExact) {
+  const auto pts = test::RandomPoints(250, 113);
+  const UniformGrid grid(pts, 4.0);
+  std::vector<double> by_id(pts.size(), 0.0);
+  CellTauTable table(grid, by_id);
+  Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const auto i = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(pts.size()) - 1));
+    const double r = rng.NextDouble();
+    if (r < 0.4) {
+      by_id[i] = std::numeric_limits<double>::infinity();
+      table.Remove(i);
+    } else {
+      by_id[i] = rng.Uniform(0.0, 30.0);
+      table.Insert(i, by_id[i]);
+    }
+    if (round % 20 != 19) continue;
+    double global = std::numeric_limits<double>::infinity();
+    for (const std::int32_t c : grid.nonempty_cells()) {
+      const auto cell = static_cast<std::size_t>(c);
+      EXPECT_EQ(table.CellFloor(cell), BruteFloor(grid, by_id, cell))
+          << "round " << round;
+      global = std::min(global, BruteFloor(grid, by_id, cell));
+    }
+    EXPECT_EQ(table.GlobalFloor(), global) << "round " << round;
+  }
+}
+
 TEST(CellTauFloorTest, GlobalFloorTracksDisplacedMinimumAcrossCells) {
   // Two far-apart clumps in different cells: raise the clump holding the
   // global min and the cached global floor must migrate to the other.

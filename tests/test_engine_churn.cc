@@ -1,0 +1,257 @@
+// Randomized churn suite for the incremental AssignmentEngine
+// (src/runtime/engine.h): the PR's correctness anchor is that a
+// warm-started Resolve is cost-identical to a cold solve of the same
+// snapshot, across insert/remove churn of both point sets, every point
+// distribution and unit/weighted customers.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/matching.h"
+#include "flow/sspa.h"
+#include "geo/point.h"
+#include "runtime/engine.h"
+#include "test_util.h"
+
+namespace cca {
+namespace {
+
+enum class Dist { kUniform, kClustered, kSkewed };
+
+std::vector<Point> MakePoints(Dist dist, std::size_t n, std::uint64_t seed) {
+  switch (dist) {
+    case Dist::kClustered:
+      return test::ClusteredPoints(n, seed);
+    case Dist::kSkewed:
+      return test::SkewedPoints(n, seed);
+    case Dist::kUniform:
+    default:
+      return test::RandomPoints(n, seed);
+  }
+}
+
+struct ChurnSpec {
+  Dist dist = Dist::kUniform;
+  bool weighted = false;
+  std::uint64_t seed = 1;
+  int events = 500;
+  SspaConfig sspa;  // base solve config (shared grids / potentials ignored)
+};
+
+// Cold-solves the engine's current snapshot from scratch: no shared index,
+// no initial potentials — the reference the warm path must match.
+double ColdCost(const Problem& problem, const SspaConfig& base) {
+  SspaConfig cold = base;
+  cold.shared_grid = nullptr;
+  cold.shared_hier_grid = nullptr;
+  cold.initial_potentials = nullptr;
+  cold.initial_matching = nullptr;
+  return SolveSspa(problem, cold).matching.cost();
+}
+
+void ExpectResolveMatchesCold(AssignmentEngine* engine, const SspaConfig& base,
+                              Metrics* totals, int* warm_resolves) {
+  const AssignmentEngine::ResolveOutcome out = engine->Resolve();
+  std::string error;
+  ASSERT_TRUE(ValidateMatching(engine->problem(), out.matching, &error)) << error;
+  const double cold = ColdCost(engine->problem(), base);
+  const double tol = 1e-9 * std::max(1.0, std::abs(cold));
+  EXPECT_NEAR(out.cost, cold, tol)
+      << "warm=" << out.warm << " |Q|=" << engine->num_providers()
+      << " |P|=" << engine->num_customers();
+  totals->Merge(out.metrics);
+  if (out.warm) ++*warm_resolves;
+}
+
+// Drives `spec.events` random population edits interleaved with Resolves,
+// checking every Resolve against a cold solve of the same snapshot.
+void RunChurn(const ChurnSpec& spec) {
+  Rng rng(spec.seed * 101 + 7);
+  const auto customer_pool = MakePoints(spec.dist, 4096, spec.seed * 3 + 1);
+  const auto provider_pool = MakePoints(spec.dist, 512, spec.seed * 5 + 2);
+  std::size_t next_customer = 0, next_provider = 0;
+
+  AssignmentEngine::Options options;
+  options.sspa = spec.sspa;
+  options.warm_start = true;
+  AssignmentEngine engine(options);
+
+  std::vector<AssignmentEngine::Id> customers, providers;
+  auto insert_customer = [&] {
+    const Point& pos = customer_pool[next_customer++ % customer_pool.size()];
+    const auto w = spec.weighted ? static_cast<std::int32_t>(rng.UniformInt(1, 3)) : 1;
+    customers.push_back(engine.InsertCustomer(pos, w));
+  };
+  auto insert_provider = [&] {
+    const Point& pos = provider_pool[next_provider++ % provider_pool.size()];
+    providers.push_back(
+        engine.InsertProvider(pos, static_cast<std::int32_t>(rng.UniformInt(2, 6))));
+  };
+
+  for (int i = 0; i < 6; ++i) insert_provider();
+  for (int i = 0; i < 50; ++i) insert_customer();
+
+  Metrics totals;
+  int warm_resolves = 0;
+  ExpectResolveMatchesCold(&engine, spec.sspa, &totals, &warm_resolves);
+
+  for (int e = 0; e < spec.events; ++e) {
+    const double r = rng.NextDouble();
+    if (r < 0.32) {
+      insert_customer();
+    } else if (r < 0.52 && !customers.empty()) {
+      const std::size_t i = rng.NextBelow(customers.size());
+      EXPECT_TRUE(engine.RemoveCustomer(customers[i]));
+      customers[i] = customers.back();
+      customers.pop_back();
+    } else if (r < 0.60) {
+      insert_provider();
+    } else if (r < 0.68 && providers.size() > 1) {
+      const std::size_t i = rng.NextBelow(providers.size());
+      EXPECT_TRUE(engine.RemoveProvider(providers[i]));
+      providers[i] = providers.back();
+      providers.pop_back();
+    } else {
+      ExpectResolveMatchesCold(&engine, spec.sspa, &totals, &warm_resolves);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  ExpectResolveMatchesCold(&engine, spec.sspa, &totals, &warm_resolves);
+
+  // The sequence must actually exercise the warm path, and churn between
+  // solves leaves some previous duals infeasible, so the repair pass has
+  // real work across the run.
+  EXPECT_GT(warm_resolves, 0);
+  EXPECT_GT(totals.dual_repairs, 0u);
+}
+
+TEST(EngineChurn, UniformUnit) { RunChurn({Dist::kUniform, false, 11, 500, {}}); }
+TEST(EngineChurn, UniformWeighted) { RunChurn({Dist::kUniform, true, 12, 500, {}}); }
+TEST(EngineChurn, ClusteredUnit) { RunChurn({Dist::kClustered, false, 13, 500, {}}); }
+TEST(EngineChurn, ClusteredWeighted) { RunChurn({Dist::kClustered, true, 14, 500, {}}); }
+TEST(EngineChurn, SkewedUnit) { RunChurn({Dist::kSkewed, false, 15, 500, {}}); }
+TEST(EngineChurn, SkewedWeighted) { RunChurn({Dist::kSkewed, true, 16, 500, {}}); }
+
+TEST(EngineChurn, FlatGridConfig) {
+  ChurnSpec spec{Dist::kClustered, false, 17, 300, {}};
+  spec.sspa.use_hierarchy = false;
+  RunChurn(spec);
+}
+
+TEST(EngineChurn, DenseNoFloorsConfig) {
+  // Legacy index-free solve paths under warm start (no tau tables at all).
+  ChurnSpec spec{Dist::kUniform, true, 18, 200, {}};
+  spec.sspa.use_grid = false;
+  spec.sspa.use_cell_floors = false;
+  spec.sspa.use_hierarchy = false;
+  RunChurn(spec);
+}
+
+TEST(EngineChurn, VerifyColdOptionAgrees) {
+  // Options::verify_cold re-solves cold inside the engine and aborts on a
+  // mismatch; surviving a short churn run is the release-build flavour of
+  // the Debug assert.
+  AssignmentEngine::Options options;
+  options.verify_cold = true;
+  AssignmentEngine engine(options);
+  Rng rng(99);
+  const auto pts = test::RandomPoints(64, 21);
+  std::vector<AssignmentEngine::Id> ids;
+  for (int q = 0; q < 4; ++q) {
+    engine.InsertProvider(pts[static_cast<std::size_t>(q)], 8);
+  }
+  for (std::size_t p = 4; p < pts.size(); ++p) ids.push_back(engine.InsertCustomer(pts[p]));
+  engine.Resolve();
+  for (int round = 0; round < 5; ++round) {
+    for (int j = 0; j < 3; ++j) {
+      const std::size_t i = rng.NextBelow(ids.size());
+      ASSERT_TRUE(engine.RemoveCustomer(ids[i]));
+      ids[i] = ids.back();
+      ids.pop_back();
+    }
+    ids.push_back(engine.InsertCustomer(
+        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}));
+    const auto out = engine.Resolve();
+    EXPECT_TRUE(out.warm);
+  }
+}
+
+TEST(EngineChurn, RemoveUnknownIdReturnsFalse) {
+  AssignmentEngine engine;
+  const auto c = engine.InsertCustomer(Point{1.0, 2.0});
+  const auto q = engine.InsertProvider(Point{3.0, 4.0}, 2);
+  EXPECT_FALSE(engine.RemoveCustomer(q));   // provider id is not a customer
+  EXPECT_FALSE(engine.RemoveProvider(c));   // and vice versa
+  EXPECT_TRUE(engine.RemoveCustomer(c));
+  EXPECT_FALSE(engine.RemoveCustomer(c));   // ids are never reused
+  EXPECT_TRUE(engine.RemoveProvider(q));
+  EXPECT_EQ(engine.num_customers(), 0u);
+  EXPECT_EQ(engine.num_providers(), 0u);
+}
+
+TEST(EngineChurn, StableIdsAcrossSwapRemove) {
+  AssignmentEngine engine;
+  const auto pts = test::RandomPoints(8, 33);
+  std::vector<AssignmentEngine::Id> ids;
+  for (const auto& p : pts) ids.push_back(engine.InsertCustomer(p));
+  ASSERT_TRUE(engine.RemoveCustomer(ids[2]));  // back element swaps into slot 2
+  // Every surviving id still maps to its original coordinates.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i == 2) continue;
+    bool found = false;
+    for (std::size_t j = 0; j < engine.num_customers(); ++j) {
+      if (engine.customer_id(j) == ids[i]) {
+        EXPECT_EQ(engine.problem().customers[j].x, pts[i].x);
+        EXPECT_EQ(engine.problem().customers[j].y, pts[i].y);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "id " << ids[i];
+  }
+}
+
+TEST(EngineChurn, WarmStartReducesPopsOnSmallPerturbation) {
+  // The performance claim behind the engine: after a small perturbation the
+  // warm duals leave most of the previous solution tight, so the re-solve
+  // explores far less than a cold solve of the same snapshot.
+  AssignmentEngine::Options options;
+  AssignmentEngine engine(options);
+  const auto q_pts = test::RandomPoints(30, 41);
+  const auto p_pts = test::RandomPoints(1500, 42);
+  Rng rng(43);
+  for (const auto& q : q_pts) {
+    engine.InsertProvider(q, static_cast<std::int32_t>(rng.UniformInt(60, 80)));
+  }
+  std::vector<AssignmentEngine::Id> ids;
+  for (const auto& p : p_pts) ids.push_back(engine.InsertCustomer(p));
+  engine.Resolve();
+
+  for (int j = 0; j < 3; ++j) {
+    const std::size_t i = rng.NextBelow(ids.size());
+    ASSERT_TRUE(engine.RemoveCustomer(ids[i]));
+    ids[i] = ids.back();
+    ids.pop_back();
+  }
+  for (int j = 0; j < 3; ++j) {
+    ids.push_back(engine.InsertCustomer(
+        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}));
+  }
+
+  const auto warm = engine.Resolve();
+  EXPECT_TRUE(warm.warm);
+  const SspaResult cold = SolveSspa(engine.problem(), SspaConfig{});
+  const double tol = 1e-9 * std::max(1.0, std::abs(cold.matching.cost()));
+  EXPECT_NEAR(warm.cost, cold.matching.cost(), tol);
+  EXPECT_LT(warm.metrics.dijkstra_pops, cold.metrics.dijkstra_pops);
+  EXPECT_LT(warm.metrics.augmentations, cold.metrics.augmentations);
+  // Nearly all of the previous flow must survive adoption — that is the
+  // mechanism behind the two inequalities above.
+  EXPECT_GT(warm.metrics.warm_units_adopted, 1400u);
+}
+
+}  // namespace
+}  // namespace cca

@@ -224,6 +224,48 @@ TEST(HierTauTableTest, FloorsStayExactUnderRandomizedRaises) {
   }
 }
 
+// Between-solve population edits (the AssignmentEngine contract): seeded
+// construction starts exact at every level, and Remove / Insert refloor
+// fine -> coarse -> global exactly in both directions — including a fine
+// cell whose residents are all removed reading +infinity.
+TEST(HierTauTableTest, SeededEditsRefloorEveryLevelExactly) {
+  const auto pts = ClusteredPoints(400, 57);
+  const HierarchicalGrid grid(pts);
+  std::vector<double> truth(pts.size());
+  Rng rng(21);
+  for (auto& v : truth) v = rng.Uniform(0.0, 40.0);
+  HierTauTable table(grid, truth);
+  const auto check_exact = [&] {
+    std::vector<double> fine_truth(grid.num_fine(), std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      fine_truth[grid.fine_of_point(i)] = std::min(fine_truth[grid.fine_of_point(i)], truth[i]);
+    }
+    double global_truth = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < grid.num_coarse(); ++c) {
+      double coarse_truth = std::numeric_limits<double>::infinity();
+      for (std::size_t f = grid.fine_begin(c); f < grid.fine_end(c); ++f) {
+        ASSERT_DOUBLE_EQ(table.FineFloor(f), fine_truth[f]);
+        coarse_truth = std::min(coarse_truth, fine_truth[f]);
+      }
+      ASSERT_DOUBLE_EQ(table.CoarseFloor(c), coarse_truth);
+      global_truth = std::min(global_truth, coarse_truth);
+    }
+    ASSERT_DOUBLE_EQ(table.GlobalFloor(), global_truth);
+  };
+  check_exact();  // seeded construction is exact before any edit
+  for (int round = 0; round < 150; ++round) {
+    const std::size_t i = static_cast<std::size_t>(rng.NextBelow(pts.size()));
+    if (rng.NextDouble() < 0.4) {
+      truth[i] = std::numeric_limits<double>::infinity();
+      table.Remove(i);
+    } else {
+      truth[i] = rng.Uniform(0.0, 40.0);  // may lower OR raise a live value
+      table.Insert(i, truth[i]);
+    }
+    if (round % 25 == 24) check_exact();
+  }
+}
+
 TEST(HierNnCursorTest, StreamsAllPointsInExactDistanceOrder) {
   for (std::uint64_t seed : {61u, 62u}) {
     const auto pts = seed % 2 == 0 ? SkewedPoints(500, seed) : ClusteredPoints(500, seed);

@@ -1,10 +1,34 @@
 // Metrics bundle tests.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/metrics.h"
 
 namespace cca {
 namespace {
+
+// Merge completeness without naming any counter: the static_assert in
+// metrics.cc pins the layout to kMetricsCounterCount uint64s followed by
+// cpu_millis, so a memcpy view covers every counter — present and future.
+// A counter added to the struct but forgotten in Merge shows up here as a
+// slot whose sum is wrong, instead of silently under-reporting forever.
+TEST(MetricsTest, MergeCoversEveryCounterSlot) {
+  Metrics a, b;
+  std::uint64_t vals[kMetricsCounterCount];
+  for (std::size_t i = 0; i < kMetricsCounterCount; ++i) vals[i] = i + 1;
+  std::memcpy(&a, vals, sizeof(vals));
+  std::memcpy(&b, vals, sizeof(vals));
+  a.cpu_millis = 1.0;
+  b.cpu_millis = 2.0;
+  a.Merge(b);
+  std::uint64_t merged[kMetricsCounterCount];
+  std::memcpy(merged, &a, sizeof(merged));
+  for (std::size_t i = 0; i < kMetricsCounterCount; ++i) {
+    EXPECT_EQ(merged[i], 2 * (i + 1)) << "counter slot " << i << " not merged";
+  }
+  EXPECT_DOUBLE_EQ(a.cpu_millis, 3.0);
+}
 
 TEST(MetricsTest, IoTimeModel) {
   Metrics m;

@@ -146,8 +146,11 @@ TEST(SharedFrontierTest, UnsubscribedMemberStopsReceivingDeliveries) {
     EXPECT_DOUBLE_EQ(hit->second, expect[i].second);
   }
   EXPECT_FALSE(frontier.subscribed(1));
-  // Every fetch delivered to subscriber 0 alone.
+  // Every fetch delivered to subscriber 0 alone; the terminated stream
+  // serves nothing.
   EXPECT_EQ(frontier.stats().fanout, frontier.stats().cell_fetches);
+  EXPECT_FALSE(frontier.NextNN(1).has_value());
+  EXPECT_EQ(frontier.PeekDistance(1), std::numeric_limits<double>::infinity());
 }
 
 TEST(SharedFrontierTest, MidStreamUnsubscribeKeepsRemainingStreamsExact) {
@@ -169,14 +172,38 @@ TEST(SharedFrontierTest, MidStreamUnsubscribeKeepsRemainingStreamsExact) {
     EXPECT_DOUBLE_EQ(hit->second, expect0[i].second) << "hit " << i;
   }
   EXPECT_FALSE(frontier.NextNN(0).has_value());
-  // A retired member's own stream stays exact if consumed anyway — it
-  // just no longer amortises with the group.
-  for (std::size_t i = 20; i < expect1.size(); ++i) {
-    const auto hit = frontier.NextNN(1);
-    ASSERT_TRUE(hit.has_value());
-    EXPECT_DOUBLE_EQ(hit->second, expect1[i].second) << "retired hit " << i;
-  }
+  // Unsubscribing terminates the stream: no more hits, ever — the slot's
+  // pending candidates were released, and subscriber 0's later demand
+  // cannot resurrect it.
   EXPECT_FALSE(frontier.NextNN(1).has_value());
+  EXPECT_EQ(frontier.PeekDistance(1), std::numeric_limits<double>::infinity());
+}
+
+// The leak regression Unsubscribe fixes: a retired slot used to keep its
+// whole candidate heap (every delivered-but-unserved point) and its
+// per-cell delivery map alive for the frontier's lifetime, while shared
+// deliveries kept refilling the heap of the *demanding* retiree.
+TEST(SharedFrontierTest, UnsubscribeReleasesQueuedCandidatesAndSlot) {
+  const auto pts = test::RandomPoints(400, 63);
+  const UniformGrid grid(pts, 32.0);
+  SharedFrontier frontier(grid, {Point{500, 500}, Point{505, 495}});
+  // Pull a few hits so subscriber 1's heap holds delivered-but-unserved
+  // candidates (its clump-mate's demand multiplexes whole cells to it).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(frontier.NextNN(0).has_value());
+    ASSERT_TRUE(frontier.NextNN(1).has_value());
+  }
+  ASSERT_GT(frontier.queued_candidates(1), 0u);
+  ASSERT_GT(frontier.delivered_map_capacity(1), 0u);
+  frontier.Unsubscribe(1);
+  EXPECT_EQ(frontier.queued_candidates(1), 0u);
+  EXPECT_EQ(frontier.delivered_map_capacity(1), 0u);
+  // Draining subscriber 0 afterwards must not repopulate the freed slot.
+  while (frontier.NextNN(0)) {
+  }
+  EXPECT_EQ(frontier.queued_candidates(1), 0u);
+  EXPECT_EQ(frontier.delivered_map_capacity(1), 0u);
+  EXPECT_FALSE(frontier.subscribed(1));
 }
 
 TEST(SharedCellSweepTest, ResidentCellsChargeOnlyOnce) {

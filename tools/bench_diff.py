@@ -8,9 +8,13 @@ trajectories (bench_fig10_providers / bench_fig11_customers), each against
 the baseline committed at the repo root.
 
 Rows are matched on their identifying keys (n_q/n_p/k/mode for
-bench_micro_flow output, setting/algo for the figure benches); rows present
-in only one file are ignored (CI runs a size-capped subset of the committed
-baseline). For every matched pair the check fails when
+bench_micro_flow output, setting/algo for the figure benches).
+Baseline-only rows are allowed but listed (CI runs a size-capped subset of
+the committed baseline); a row present only in the NEW file is a hard
+error -- it means the run produced data nothing gates, typically a renamed
+identifying key or a baseline that was never regenerated, which previously
+let whole benches go silently unchecked. For every matched pair the check
+fails when
 
   * the matching cost differs by more than --cost-tol relative (default
     1e-6: the solvers are exact, so any cost drift beyond float noise is a
@@ -89,6 +93,27 @@ def main():
               f"{args.baseline_json}", file=sys.stderr)
         return 1
 
+    # A produced row the baseline cannot gate is a hard error, not a skip:
+    # silently unmatched rows meant a renamed key or a stale baseline could
+    # disable the gate for an entire bench without anyone noticing.
+    new_only = sorted(set(new_rows) - set(base_rows))
+    if new_only:
+        print(f"bench_diff: {len(new_only)} row(s) in {args.new_json} have no "
+              f"baseline match in {args.baseline_json}:", file=sys.stderr)
+        for key in new_only:
+            print("  " + " ".join(f"{k}={v}" for k, v in key), file=sys.stderr)
+        print("bench_diff: regenerate the committed baseline (or fix the "
+              "identifying keys) so every produced row is gated.",
+              file=sys.stderr)
+        return 1
+
+    base_only = sorted(set(base_rows) - set(new_rows))
+    if base_only:
+        print(f"bench_diff: {len(base_only)} baseline-only row(s) not exercised "
+              "by this run (size-capped subset):")
+        for key in base_only:
+            print("  " + " ".join(f"{k}={v}" for k, v in key))
+
     failures = []
     for key in shared:
         new, base = new_rows[key], base_rows[key]
@@ -108,8 +133,7 @@ def main():
                     f"{base[counter]} by more than {args.relax_slack:.0%}")
 
     print(f"bench_diff: compared {len(shared)} shared rows "
-          f"({len(new_rows) - len(shared)} new-only, "
-          f"{len(base_rows) - len(shared)} baseline-only skipped)")
+          f"({len(base_only)} baseline-only listed above)")
     if failures:
         print("bench_diff: REGRESSIONS FOUND", file=sys.stderr)
         for failure in failures:
