@@ -19,6 +19,8 @@
 // reported but never gated).
 //
 //   bench_engine_dispatch [--out BENCH_dispatch.json] [--max-np N]
+//                         [--stats-out FILE]  (per-step warm EngineStats JSON)
+//                         [--trace-out FILE]  (tracing-enabled builds only)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -26,8 +28,10 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "gen/generator.h"
 #include "runtime/engine.h"
 
@@ -42,7 +46,7 @@ struct Shape {
 struct ModeStats {
   double cost = 0.0;  // summed over all resolves
   double wall_ms = 0.0;
-  std::vector<double> latencies_ms;
+  cca::Histogram latency_ms;  // fixed-memory percentile source
   cca::Metrics totals;
 };
 
@@ -52,14 +56,10 @@ struct Row {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double mean_ms = 0.0;
   ModeStats stats;
 };
-
-double Percentile(const std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
 
 // Knuth Poisson sampling; the event-count distribution of a dispatch
 // stream's inter-resolve window.
@@ -80,7 +80,7 @@ double TimedResolve(cca::AssignmentEngine& engine, ModeStats& stats) {
   const cca::AssignmentEngine::ResolveOutcome out = engine.Resolve();
   const double ms = timer.ElapsedMillis();
   stats.wall_ms += ms;
-  stats.latencies_ms.push_back(ms);
+  stats.latency_ms.Record(ms);
   stats.cost += out.cost;
   stats.totals.Merge(out.metrics);
   return out.cost;
@@ -109,12 +109,13 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
     std::fprintf(f,
                  "  {\"workload\": \"dispatch\", \"dist\": \"%s\", \"n_q\": %zu, \"n_p\": %zu, "
                  "\"k\": %d, \"mode\": \"%s\", "
-                 "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"wall_ms\": %.1f, "
+                 "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                 "\"mean_ms\": %.3f, \"wall_ms\": %.1f, "
                  "\"cost\": %.3f, \"pops\": %llu, \"relaxes\": %llu, "
                  "\"augmentations\": %llu, \"dual_repairs\": %llu, "
                  "\"warm_units_adopted\": %llu}%s\n",
                  r.shape.dist, r.shape.nq, r.shape.np, r.shape.k, r.mode, r.qps, r.p50_ms,
-                 r.p99_ms, r.stats.wall_ms, r.stats.cost,
+                 r.p99_ms, r.p999_ms, r.mean_ms, r.stats.wall_ms, r.stats.cost,
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.dijkstra_relaxes),
                  static_cast<unsigned long long>(m.augmentations),
@@ -131,6 +132,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_dispatch.json";
+  std::string stats_path;
+  std::string trace_path;
   std::size_t max_np = 100000;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -143,13 +146,31 @@ int main(int argc, char** argv) {
     };
     if (flag == "--out") {
       out_path = next();
+    } else if (flag == "--stats-out") {
+      stats_path = next();
+    } else if (flag == "--trace-out") {
+      trace_path = next();
+      if (!cca::trace::kCompiledIn) {
+        // Flags a run would silently ignore are hard errors (repo rule).
+        std::fprintf(stderr,
+                     "--trace-out requires a tracing-enabled build "
+                     "(-DCCA_ENABLE_TRACING=ON)\n");
+        return 2;
+      }
     } else if (flag == "--max-np") {
       max_np = static_cast<std::size_t>(std::atoll(next()));
     } else {
-      std::fprintf(stderr, "usage: bench_engine_dispatch [--out FILE] [--max-np N]\n");
+      std::fprintf(stderr,
+                   "usage: bench_engine_dispatch [--out FILE] [--max-np N] "
+                   "[--stats-out FILE] [--trace-out FILE]\n");
       return 2;
     }
   }
+  if (!trace_path.empty()) cca::trace::Start();
+  // Per-step EngineStats snapshots of every warm engine (one JSON object
+  // per Resolve), demonstrating the snapshot surface is cheap enough to
+  // export at serving cadence.
+  std::vector<std::string> stats_snapshots;
 
   // k * nq comfortably exceeds np at every step: the ample-capacity
   // (Jonker-Volgenant) regime where flow adoption applies. Arrivals and
@@ -209,6 +230,7 @@ int main(int argc, char** argv) {
     // and re-solves.
     TimedResolve(warm_engine, warm_stats);
     TimedResolve(cold_engine, cold_stats);
+    if (!stats_path.empty()) stats_snapshots.push_back(warm_engine.stats().ToJson());
 
     cca::Rng rng(s.np * 31 + s.nq);
     const double lambda = std::max(1.0, static_cast<double>(s.np) / 200.0);
@@ -230,6 +252,7 @@ int main(int argc, char** argv) {
 
       const double warm_cost = TimedResolve(warm_engine, warm_stats);
       const double cold_cost = TimedResolve(cold_engine, cold_stats);
+      if (!stats_path.empty()) stats_snapshots.push_back(warm_engine.stats().ToJson());
       const double tol = 1e-9 * std::max(1.0, std::abs(cold_cost));
       if (std::abs(warm_cost - cold_cost) > tol) {
         std::fprintf(stderr,
@@ -245,11 +268,12 @@ int main(int argc, char** argv) {
       row.shape = s;
       row.mode = st == &warm_stats ? "warm" : "cold";
       row.stats = *st;
-      std::sort(row.stats.latencies_ms.begin(), row.stats.latencies_ms.end());
-      row.p50_ms = Percentile(row.stats.latencies_ms, 0.50);
-      row.p99_ms = Percentile(row.stats.latencies_ms, 0.99);
+      row.p50_ms = row.stats.latency_ms.Percentile(0.50);
+      row.p99_ms = row.stats.latency_ms.Percentile(0.99);
+      row.p999_ms = row.stats.latency_ms.Percentile(0.999);
+      row.mean_ms = row.stats.latency_ms.Mean();
       row.qps = row.stats.wall_ms > 0.0
-                    ? 1000.0 * static_cast<double>(row.stats.latencies_ms.size()) /
+                    ? 1000.0 * static_cast<double>(row.stats.latency_ms.Count()) /
                           row.stats.wall_ms
                     : 0.0;
       rows.push_back(row);
@@ -262,5 +286,29 @@ int main(int argc, char** argv) {
                               : 0.0);
   }
   WriteJson(rows, out_path);
+  if (!stats_path.empty()) {
+    std::FILE* f = std::fopen(stats_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", stats_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < stats_snapshots.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", stats_snapshots[i].c_str(),
+                   i + 1 < stats_snapshots.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu engine-stats snapshots to %s\n", stats_snapshots.size(),
+                stats_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    cca::trace::Stop();
+    if (!cca::trace::WriteJson(trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
   return 0;
 }

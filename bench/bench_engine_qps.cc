@@ -10,21 +10,25 @@
 // the one documented concurrency-visible counter (src/core/README.md).
 //
 // Prints a table and writes BENCH_qps.json: one row per (workload shape,
-// thread count) with reported timing (qps, p50/p99 latency — never gated)
-// and gated deterministic columns (cost, pops, relaxes, esub, aug).
-// Speedup over 1 thread is reported but not enforced here: CI containers
-// pin few cores, so the scaling claim is checked where cores exist.
+// thread count) with reported timing (qps, p50/p99/p999 latency from the
+// log-scale Histogram — never gated) and gated deterministic columns
+// (cost, pops, relaxes, esub, aug). Speedup over 1 thread is reported but
+// not enforced here: CI containers pin few cores, so the scaling claim is
+// checked where cores exist.
 //
 //   bench_engine_qps [--out BENCH_qps.json] [--max-np N] [--threads CSV]
-#include <algorithm>
+//                    [--trace-out FILE]   (tracing-enabled builds only)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "gen/generator.h"
 #include "runtime/query_runner.h"
 
@@ -101,16 +105,12 @@ struct Row {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double mean_ms = 0.0;
   double speedup = 1.0;
   double cost = 0.0;  // summed over the batch
   cca::Metrics totals;
 };
-
-double Percentile(std::vector<double> sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
 
 // Bit-identical check of a multi-threaded run against the serial outcomes.
 bool SameAnswers(const std::vector<cca::QuerySpec>& batch,
@@ -166,12 +166,13 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
     std::fprintf(f,
                  "  {\"workload\": \"mixed\", \"n_q\": %zu, \"n_p\": %zu, \"queries\": %zu, "
                  "\"k\": %d, \"threads\": %zu, "
-                 "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"wall_ms\": %.1f, "
+                 "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                 "\"mean_ms\": %.3f, \"wall_ms\": %.1f, "
                  "\"speedup\": %.2f, \"cost\": %.3f, "
                  "\"pops\": %llu, \"relaxes\": %llu, \"esub\": %llu, "
                  "\"augmentations\": %llu, \"index_node_accesses\": %llu}%s\n",
                  r.shape.nq, r.shape.np, r.shape.queries, r.shape.k, r.threads, r.qps, r.p50_ms,
-                 r.p99_ms, r.wall_ms, r.speedup, r.cost,
+                 r.p99_ms, r.p999_ms, r.mean_ms, r.wall_ms, r.speedup, r.cost,
                  static_cast<unsigned long long>(m.dijkstra_pops),
                  static_cast<unsigned long long>(m.dijkstra_relaxes),
                  static_cast<unsigned long long>(m.edges_inserted),
@@ -188,6 +189,7 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_qps.json";
+  std::string trace_path;
   std::size_t max_np = 10000;
   std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
@@ -201,6 +203,15 @@ int main(int argc, char** argv) {
     };
     if (flag == "--out") {
       out_path = next();
+    } else if (flag == "--trace-out") {
+      trace_path = next();
+      if (!cca::trace::kCompiledIn) {
+        // Flags a run would silently ignore are hard errors (repo rule).
+        std::fprintf(stderr,
+                     "--trace-out requires a tracing-enabled build "
+                     "(-DCCA_ENABLE_TRACING=ON)\n");
+        return 2;
+      }
     } else if (flag == "--max-np") {
       max_np = static_cast<std::size_t>(std::atoll(next()));
     } else if (flag == "--threads") {
@@ -214,10 +225,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr, "usage: bench_engine_qps [--out FILE] [--max-np N] [--threads CSV]\n");
+      std::fprintf(stderr,
+                   "usage: bench_engine_qps [--out FILE] [--max-np N] [--threads CSV] "
+                   "[--trace-out FILE]\n");
       return 2;
     }
   }
+  if (!trace_path.empty()) cca::trace::Start();
 
   const Shape shapes[] = {
       {100, 2000, 12, 40},
@@ -261,15 +275,15 @@ int main(int argc, char** argv) {
       row.threads = t;
       row.wall_ms = wall;
       row.qps = wall > 0.0 ? 1000.0 * static_cast<double>(outcomes.size()) / wall : 0.0;
-      std::vector<double> lat;
-      lat.reserve(outcomes.size());
+      cca::Histogram lat;
       for (const auto& o : outcomes) {
-        lat.push_back(o.latency_millis);
+        lat.Record(o.latency_millis);
         row.cost += o.matching.cost();
       }
-      std::sort(lat.begin(), lat.end());
-      row.p50_ms = Percentile(lat, 0.50);
-      row.p99_ms = Percentile(lat, 0.99);
+      row.p50_ms = lat.Percentile(0.50);
+      row.p99_ms = lat.Percentile(0.99);
+      row.p999_ms = lat.Percentile(0.999);
+      row.mean_ms = lat.Mean();
       row.speedup = wall > 0.0 ? serial_wall / wall : 0.0;
       row.totals = cca::QueryRunner::Aggregate(outcomes);
       rows.push_back(row);
@@ -277,5 +291,13 @@ int main(int argc, char** argv) {
     }
   }
   WriteJson(rows, out_path);
+  if (!trace_path.empty()) {
+    cca::trace::Stop();
+    if (!cca::trace::WriteJson(trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s\n", trace_path.c_str());
+  }
   return 0;
 }

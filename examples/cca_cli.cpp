@@ -8,7 +8,7 @@
 //           [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]
 //           [--no-hierarchy] [--hier-split-threshold N]
 //           [--backend auto|rtree|ann|grid|grid-batched]
-//           [--threads N] [--repeat R]
+//           [--threads N] [--repeat R] [--trace-out FILE]
 //
 // --repeat replicates the solve R times and --threads runs the replicas
 // through the concurrent QueryRunner (src/runtime) over one shared index;
@@ -33,6 +33,9 @@
 // frontier (grid-batched: Hilbert-grouped providers sharing one cell sweep
 // per group). For --solver sspa, grid-batched serves the relax scans from
 // the shared sweep too (SspaConfig::use_shared_frontier).
+// --trace-out writes a Chrome trace (chrome://tracing / perfetto) of the
+// solve's spans; it needs a tracing-enabled build (-DCCA_ENABLE_TRACING=ON)
+// and hard-errors otherwise, per the no-silently-ignored-flags rule.
 //
 // Output: one `key=value` line per metric (easy to grep / parse).
 #include <algorithm>
@@ -43,6 +46,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/approx.h"
 #include "core/customer_db.h"
 #include "core/exact.h"
@@ -74,6 +78,7 @@ struct Args {
   std::string backend = "auto";
   std::size_t threads = 1;
   std::size_t repeat = 1;
+  std::string trace_out;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -134,6 +139,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->repeat = static_cast<std::size_t>(v);
+    } else if (flag == "--trace-out") {
+      args->trace_out = next();
+      if (!cca::trace::kCompiledIn) {
+        std::fprintf(stderr,
+                     "--trace-out requires a tracing-enabled build "
+                     "(-DCCA_ENABLE_TRACING=ON)\n");
+        return false;
+      }
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -156,9 +169,10 @@ int main(int argc, char** argv) {
                  "               [--seed S] [--no-pua] [--no-ann] [--dense] [--no-cell-floors]\n"
                  "               [--no-hierarchy] [--hier-split-threshold N]\n"
                  "               [--backend auto|rtree|ann|grid|grid-batched]\n"
-                 "               [--threads N] [--repeat R]\n");
+                 "               [--threads N] [--repeat R] [--trace-out FILE]\n");
     return 2;
   }
+  if (!args.trace_out.empty()) trace::Start();
 
   const RoadNetwork network = DefaultNetwork(42);
   DatasetSpec q_spec;
@@ -332,5 +346,13 @@ int main(int argc, char** argv) {
   std::printf("page_faults=%llu\n", static_cast<unsigned long long>(metrics.page_faults));
   std::printf("cpu_ms=%.1f\n", metrics.cpu_millis);
   std::printf("io_ms=%.1f\n", metrics.io_millis());
+  if (!args.trace_out.empty()) {
+    trace::Stop();
+    if (!trace::WriteJson(args.trace_out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace=%s\n", args.trace_out.c_str());
+  }
   return valid ? 0 : 1;
 }

@@ -4,56 +4,41 @@
 
 namespace cca {
 
-// Layout guard for the Merge-completeness check: Metrics must be exactly
+// Layout guard for the table-completeness check: Metrics must be exactly
 // kMetricsCounterCount uint64 counters followed by cpu_millis, with no
-// padding. A new counter that is not accounted for in kMetricsCounterCount
-// fails here; one that is counted but forgotten in Merge fails the
-// memcpy-view test in tests/test_metrics.cc.
+// padding. Since kMetricsCounterCount is derived from
+// CCA_METRICS_COUNTER_FIELDS, a counter present in the struct but missing
+// from the table (or listed but never declared) fails here; Merge and
+// ToString below are generated from the same table, so they can never
+// drift from it — the memcpy-view tests in tests/test_metrics.cc prove
+// both cover every slot.
 static_assert(sizeof(Metrics) == kMetricsCounterCount * sizeof(std::uint64_t) + sizeof(double),
-              "Metrics layout changed: update kMetricsCounterCount and Merge together");
+              "Metrics layout changed: update CCA_METRICS_COUNTER_FIELDS to match");
 
 void Metrics::Merge(const Metrics& other) {
-  edges_inserted += other.edges_inserted;
-  dijkstra_runs += other.dijkstra_runs;
-  dijkstra_resumes += other.dijkstra_resumes;
-  dijkstra_pops += other.dijkstra_pops;
-  dijkstra_relaxes += other.dijkstra_relaxes;
-  augmentations += other.augmentations;
-  invalid_paths += other.invalid_paths;
-  fast_path_assigns += other.fast_path_assigns;
-  grid_rings_scanned += other.grid_rings_scanned;
-  relaxes_pruned += other.relaxes_pruned;
-  distances_computed += other.distances_computed;
-  cells_pruned += other.cells_pruned;
-  dense_cells_checked += other.dense_cells_checked;
-  coarse_tails_pruned += other.coarse_tails_pruned;
-  coarse_cells_descended += other.coarse_cells_descended;
-  hier_splits += other.hier_splits;
-  dual_repairs += other.dual_repairs;
-  warm_units_adopted += other.warm_units_adopted;
-  nn_searches += other.nn_searches;
-  range_searches += other.range_searches;
-  node_accesses += other.node_accesses;
-  grid_cursor_cells += other.grid_cursor_cells;
-  shared_frontier_cell_fetches += other.shared_frontier_cell_fetches;
-  shared_frontier_fanout += other.shared_frontier_fanout;
-  index_node_accesses += other.index_node_accesses;
-  page_faults += other.page_faults;
+#define CCA_METRICS_MERGE_ONE(field, label) field += other.field;
+  CCA_METRICS_COUNTER_FIELDS(CCA_METRICS_MERGE_ONE)
+#undef CCA_METRICS_MERGE_ONE
   cpu_millis += other.cpu_millis;
 }
 
 std::string Metrics::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "|Esub|=%llu dijkstra=%llu(+%llu resumed) aug=%llu invalid=%llu "
-                "faults=%llu cpu=%.1fms io=%.1fms",
-                static_cast<unsigned long long>(edges_inserted),
-                static_cast<unsigned long long>(dijkstra_runs),
-                static_cast<unsigned long long>(dijkstra_resumes),
-                static_cast<unsigned long long>(augmentations),
-                static_cast<unsigned long long>(invalid_paths),
-                static_cast<unsigned long long>(page_faults), cpu_millis, io_millis());
-  return std::string(buf);
+  std::string out;
+  out.reserve(256);
+  char buf[96];
+  // Zero counters are skipped so the one-line summary stays readable: a
+  // grid-only run never mentions R-tree counters and vice versa.
+#define CCA_METRICS_PRINT_ONE(field, label)                                     \
+  if (field != 0) {                                                             \
+    std::snprintf(buf, sizeof(buf), "%s=%llu ", label,                          \
+                  static_cast<unsigned long long>(field));                      \
+    out += buf;                                                                 \
+  }
+  CCA_METRICS_COUNTER_FIELDS(CCA_METRICS_PRINT_ONE)
+#undef CCA_METRICS_PRINT_ONE
+  std::snprintf(buf, sizeof(buf), "cpu=%.1fms io=%.1fms", cpu_millis, io_millis());
+  out += buf;
+  return out;
 }
 
 }  // namespace cca

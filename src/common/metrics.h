@@ -17,6 +17,41 @@ namespace cca {
 // (Section 5.1, citing Silberschatz et al.).
 inline constexpr double kIoMillisPerFault = 10.0;
 
+// The single source of truth for Metrics' uint64 counters: every counter,
+// in declaration order, with the label ToString prints it under. Merge,
+// ToString and kMetricsCounterCount are all generated from this table
+// (metrics.cc), so adding a counter means adding a struct field AND a row
+// here — forget either and the layout static_assert in metrics.cc fires;
+// the memcpy-view test in tests/test_metrics.cc then proves both Merge and
+// ToString cover every slot.
+#define CCA_METRICS_COUNTER_FIELDS(X)                       \
+  X(edges_inserted, "Esub")                                 \
+  X(dijkstra_runs, "dijkstra_runs")                         \
+  X(dijkstra_resumes, "dijkstra_resumes")                   \
+  X(dijkstra_pops, "dijkstra_pops")                         \
+  X(dijkstra_relaxes, "dijkstra_relaxes")                   \
+  X(augmentations, "augmentations")                         \
+  X(invalid_paths, "invalid_paths")                         \
+  X(fast_path_assigns, "fast_path_assigns")                 \
+  X(grid_rings_scanned, "grid_rings_scanned")               \
+  X(relaxes_pruned, "relaxes_pruned")                       \
+  X(distances_computed, "distances_computed")               \
+  X(cells_pruned, "cells_pruned")                           \
+  X(dense_cells_checked, "dense_cells_checked")             \
+  X(coarse_tails_pruned, "coarse_tails_pruned")             \
+  X(coarse_cells_descended, "coarse_cells_descended")       \
+  X(hier_splits, "hier_splits")                             \
+  X(dual_repairs, "dual_repairs")                           \
+  X(warm_units_adopted, "warm_units_adopted")               \
+  X(nn_searches, "nn_searches")                             \
+  X(range_searches, "range_searches")                       \
+  X(node_accesses, "node_accesses")                         \
+  X(grid_cursor_cells, "grid_cursor_cells")                 \
+  X(shared_frontier_cell_fetches, "shared_frontier_fetches") \
+  X(shared_frontier_fanout, "shared_frontier_fanout")       \
+  X(index_node_accesses, "index_node_accesses")             \
+  X(page_faults, "faults")
+
 // Counter bundle for one solver execution.
 //
 // All counters start at zero; solvers reset the bundle they are handed at
@@ -120,17 +155,23 @@ struct Metrics {
   // Legacy spelling of Merge.
   void Accumulate(const Metrics& other) { Merge(other); }
 
-  // Human-readable one-line summary, used by examples and benches.
+  // Human-readable one-line summary, used by examples and benches:
+  // `label=value` for every non-zero counter in the field table, then
+  // cpu/io. Generated from CCA_METRICS_COUNTER_FIELDS, so it can never
+  // silently omit a counter the way the old hand-written list could.
   std::string ToString() const;
 };
 
 // Number of uint64 counters in Metrics, in declaration order (everything
-// before cpu_millis). Merge must touch every one of them; the static_assert
-// in metrics.cc plus the memcpy-view completeness test in tests/
-// test_metrics.cc turn a forgotten counter into a compile- or test-time
-// failure instead of silent under-reporting. Adding a counter means
-// bumping this, extending Merge, and nothing else.
-inline constexpr std::size_t kMetricsCounterCount = 26;
+// before cpu_millis), derived from the field table. The static_assert in
+// metrics.cc pins the struct layout to it, so a counter added to the
+// struct but not the table (or vice versa) fails to compile; Merge and
+// ToString are generated from the same table, and the memcpy-view tests in
+// tests/test_metrics.cc cover both.
+#define CCA_METRICS_COUNT_ONE(field, label) +1
+inline constexpr std::size_t kMetricsCounterCount =
+    0 CCA_METRICS_COUNTER_FIELDS(CCA_METRICS_COUNT_ONE);
+#undef CCA_METRICS_COUNT_ONE
 
 }  // namespace cca
 

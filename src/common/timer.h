@@ -1,4 +1,4 @@
-// Monotonic wall-clock stopwatch used for the CPU-time metric.
+// Monotonic stopwatch used for the CPU-time metric and latency histograms.
 #ifndef CCA_COMMON_TIMER_H_
 #define CCA_COMMON_TIMER_H_
 
@@ -18,7 +18,12 @@ class Timer {
   }
 
  private:
+  // steady_clock, never system_clock: wall clock is not monotonic (NTP
+  // slews and DST jumps would make latencies negative or wildly wrong),
+  // and every consumer of Timer — cpu_millis, the serving benches'
+  // latency histograms, the trace spans — assumes elapsed time only grows.
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "Timer requires a monotonic clock");
   Clock::time_point start_;
 };
 

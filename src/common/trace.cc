@@ -1,0 +1,162 @@
+#include "common/trace.h"
+
+#if CCA_TRACING_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace cca {
+namespace trace {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+static_assert(Clock::is_steady, "trace timestamps must be monotonic");
+
+// Per-thread buffer capacity before an automatic drain into the sink. At
+// ~72 bytes/event this is ~4.5 MiB/thread worst case — large enough that a
+// whole solve's Dijkstra spans usually drain once, at a batch join.
+constexpr std::size_t kThreadBufferCapacity = 64 * 1024;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_next_tid{0};
+std::atomic<std::uint64_t> g_dropped{0};
+// Epoch all timestamps are relative to; rewritten by Start() under the
+// sink mutex, read by recording threads via the relaxed ns offset below.
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+          .count());
+}
+
+// Process-wide sink. Only ever touched under mu; threads batch their
+// appends (one lock per kThreadBufferCapacity events, plus drain points).
+struct Sink {
+  std::mutex mu;
+  std::vector<Event> events;
+};
+
+Sink& GetSink() {
+  static Sink* sink = new Sink();  // leaked: threads may flush at exit
+  return *sink;
+}
+
+// The thread-local side: an append-only buffer the owning thread writes
+// without synchronisation, plus the nesting depth counter spans use.
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid;
+  std::uint32_t depth = 0;
+
+  ThreadBuffer() : tid(g_next_tid.fetch_add(1, std::memory_order_relaxed)) {
+    events.reserve(kThreadBufferCapacity);
+  }
+  ~ThreadBuffer() { Flush(); }
+
+  void Flush() {
+    if (events.empty()) return;
+    Sink& sink = GetSink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.events.insert(sink.events.end(), events.begin(), events.end());
+    events.clear();
+  }
+
+  void Push(const Event& e) {
+    if (events.size() >= kThreadBufferCapacity) Flush();
+    events.push_back(e);
+  }
+};
+
+ThreadBuffer& GetThreadBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+void AppendJsonEvent(std::FILE* f, const Event& e, bool first) {
+  std::fprintf(f,
+               "%s  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+               "\"ts\": %.3f, \"dur\": %.3f",
+               first ? "" : ",\n", e.name, e.tid, static_cast<double>(e.start_ns) / 1000.0,
+               static_cast<double>(e.dur_ns) / 1000.0);
+  if (e.num_args > 0) {
+    std::fprintf(f, ", \"args\": {");
+    for (std::uint32_t a = 0; a < e.num_args; ++a) {
+      std::fprintf(f, "%s\"%s\": %llu", a > 0 ? ", " : "", e.args[a].key,
+                   static_cast<unsigned long long>(e.args[a].value));
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "}");
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Start() {
+  g_epoch_ns.store(NowNs(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Stop() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  FlushThisThread();
+}
+
+void FlushThisThread() { GetThreadBuffer().Flush(); }
+
+std::vector<Event> Drain() {
+  FlushThisThread();
+  Sink& sink = GetSink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  return std::exchange(sink.events, {});
+}
+
+std::uint64_t DroppedEvents() { return g_dropped.load(std::memory_order_relaxed); }
+
+bool WriteJson(const std::string& path) {
+  const std::vector<Event> events = Drain();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    AppendJsonEvent(f, events[i], i == 0);
+  }
+  std::fprintf(f, "\n], \"displayTimeUnit\": \"ms\", \"droppedEvents\": %llu}\n",
+               static_cast<unsigned long long>(DroppedEvents()));
+  std::fclose(f);
+  return true;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  depth_ = GetThreadBuffer().depth++;
+  start_ns_ = NowNs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end_ns = NowNs();
+  ThreadBuffer& buffer = GetThreadBuffer();
+  --buffer.depth;
+  Event e;
+  e.name = name_;
+  const std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  e.start_ns = start_ns_ >= epoch ? start_ns_ - epoch : 0;
+  e.dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  e.tid = buffer.tid;
+  e.depth = depth_;
+  e.num_args = num_args_;
+  for (std::uint32_t a = 0; a < num_args_; ++a) e.args[a] = args_[a];
+  buffer.Push(e);
+}
+
+}  // namespace trace
+}  // namespace cca
+
+#endif  // CCA_TRACING_ENABLED

@@ -1,0 +1,160 @@
+// Compile-out-able thread-local span tracer emitting Chrome trace JSON.
+//
+// Answers the question flat end-of-run Metrics counters cannot: *where*
+// inside one solve (or one serving step) the time went. Hot paths are
+// annotated with RAII spans —
+//
+//   CCA_TRACE_SPAN("sspa.dijkstra");                 // anonymous
+//   CCA_TRACE_SPAN_VAR(span, "engine.resolve");      // named, for args
+//   span.Arg("pops", pops);                          // uint64 span args
+//
+// — which nest lexically (a span closed inside another span's scope is its
+// child in the timeline). Load the emitted JSON in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Cost contract (src/common/README.md):
+//   * Compiled out (the default — CCA_TRACING_ENABLED unset/0):
+//     CCA_TRACE_SPAN expands to ((void)0), Span is an empty no-op type,
+//     and every trace:: entry point is an inline no-op. No atomics, no
+//     branches, no storage. CI asserts the tracing-off benches stay
+//     bit-identical to the committed counter baselines.
+//   * Compiled in but stopped: one relaxed atomic load per span.
+//   * Started: spans append to a per-thread buffer with no synchronisation
+//     (the owning thread is the only writer); the buffer drains into the
+//     process-wide mutex-protected sink when full, at explicit drain
+//     points (QueryRunner drains each worker at batch joins), and at
+//     thread exit. Cross-thread access happens only through the sink's
+//     mutex, so the layer is TSan-clean by construction (certified by the
+//     TSan CI job, which builds with tracing on).
+//
+// Timestamps come from std::chrono::steady_clock (monotonic, comparable
+// across threads of one process) relative to the Start() epoch.
+#ifndef CCA_COMMON_TRACE_H_
+#define CCA_COMMON_TRACE_H_
+
+#ifndef CCA_TRACING_ENABLED
+#define CCA_TRACING_ENABLED 0
+#endif
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cca {
+namespace trace {
+
+// True when the tracer is compiled in (-DCCA_ENABLE_TRACING=ON). Lets
+// drivers hard-error on --trace-out instead of silently writing nothing.
+inline constexpr bool kCompiledIn = CCA_TRACING_ENABLED != 0;
+
+// One uint64 key/value attached to a span (pops, relaxes, page ids...).
+struct SpanArg {
+  const char* key;
+  std::uint64_t value;
+};
+
+inline constexpr std::size_t kMaxSpanArgs = 4;
+
+// One completed span. `name`/arg keys must be string literals (or anything
+// outliving the trace session): the tracer stores pointers, never copies.
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;  // relative to the Start() epoch
+  std::uint64_t dur_ns;
+  std::uint32_t tid;    // small sequential per-thread id, first-use order
+  std::uint32_t depth;  // nesting depth at open (0 = top level), for tests
+  std::uint32_t num_args;
+  SpanArg args[kMaxSpanArgs];
+};
+
+#if CCA_TRACING_ENABLED
+
+// Runtime switch: even a tracing-enabled binary records nothing until
+// Start(). Relaxed atomic — spans straddling Start/Stop may be dropped,
+// never torn.
+bool Enabled();
+void Start();
+// Stops recording and drains the calling thread's buffer. Other threads
+// drain at their own drain points (batch joins, thread exit).
+void Stop();
+
+// Drains the calling thread's local buffer into the global sink. Called
+// automatically when the buffer fills and from the thread-local
+// destructor; call explicitly at batch joins so short-lived sessions see
+// every worker's spans without waiting for thread exit.
+void FlushThisThread();
+
+// Moves all sink events out (flushing the calling thread first). Test
+// surface; WriteJson uses it internally.
+std::vector<Event> Drain();
+
+// Drains and writes everything recorded so far as Chrome trace JSON
+// ({"traceEvents": [...]}, "X" complete events, ts/dur in microseconds).
+// Returns false when the file cannot be opened.
+bool WriteJson(const std::string& path);
+
+// Number of events dropped because a thread recorded faster than the sink
+// could absorb (never happens with the default 64Ki-event buffers; kept as
+// a honesty counter for the JSON metadata).
+std::uint64_t DroppedEvents();
+
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a key/value to the span (silently drops past kMaxSpanArgs).
+  // Safe to call on an inactive span (tracing stopped): no-op.
+  void Arg(const char* key, std::uint64_t value) {
+    if (!active_ || num_args_ >= kMaxSpanArgs) return;
+    args_[num_args_++] = SpanArg{key, value};
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint32_t num_args_ = 0;
+  bool active_ = false;
+  SpanArg args_[kMaxSpanArgs];
+};
+
+#else  // !CCA_TRACING_ENABLED — every entry point is an inline no-op.
+
+inline constexpr bool Enabled() { return false; }
+inline void Start() {}
+inline void Stop() {}
+inline void FlushThisThread() {}
+inline std::vector<Event> Drain() { return {}; }
+inline bool WriteJson(const std::string&) { return false; }
+inline std::uint64_t DroppedEvents() { return 0; }
+
+// Empty RAII shell so CCA_TRACE_SPAN_VAR call sites (span.Arg(...)) compile
+// unchanged; the optimizer erases it entirely.
+class Span {
+ public:
+  explicit Span(const char*) {}
+  void Arg(const char*, std::uint64_t) {}
+};
+
+#endif  // CCA_TRACING_ENABLED
+
+}  // namespace trace
+}  // namespace cca
+
+#if CCA_TRACING_ENABLED
+#define CCA_TRACE_CONCAT2(a, b) a##b
+#define CCA_TRACE_CONCAT(a, b) CCA_TRACE_CONCAT2(a, b)
+// Anonymous span covering the rest of the enclosing scope.
+#define CCA_TRACE_SPAN(name) \
+  ::cca::trace::Span CCA_TRACE_CONCAT(cca_trace_span_, __LINE__)(name)
+// Named span, for attaching args before scope exit.
+#define CCA_TRACE_SPAN_VAR(var, name) ::cca::trace::Span var(name)
+#else
+#define CCA_TRACE_SPAN(name) ((void)0)
+#define CCA_TRACE_SPAN_VAR(var, name) ::cca::trace::Span var(name)
+#endif
+
+#endif  // CCA_COMMON_TRACE_H_

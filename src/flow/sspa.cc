@@ -9,6 +9,7 @@
 
 #include "common/indexed_heap.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "geo/grid.h"
 #include "geo/grid_cursor.h"
 #include "geo/hier_grid.h"
@@ -118,6 +119,7 @@ class SspaSolver {
   }
 
   SspaResult Run() {
+    CCA_TRACE_SPAN_VAR(span, "sspa.solve");
     Timer timer;
     SspaResult result;
     result.conceptual_edges = static_cast<std::uint64_t>(nq_) * static_cast<std::uint64_t>(np_);
@@ -144,6 +146,9 @@ class SspaSolver {
     result.potentials.tau_q = tau_q_;
     result.potentials.tau_p = tau_p_;
     result.metrics.cpu_millis = timer.ElapsedMillis();
+    span.Arg("augmentations", result.metrics.augmentations);
+    span.Arg("pops", result.metrics.dijkstra_pops);
+    span.Arg("adopted", result.metrics.warm_units_adopted);
     return result;
   }
 
@@ -183,6 +188,7 @@ class SspaSolver {
   // certified lower bounds. Seed quality only decides how much flow
   // survives adoption, never the final cost.
   void RepairDuals(Metrics* metrics) {
+    CCA_TRACE_SPAN_VAR(span, "sspa.repair_duals");
     std::int64_t total_weight = 0;
     for (std::size_t p = 0; p < np_; ++p) total_weight += problem_.weight(p);
     const bool ample = problem_.Gamma() >= total_weight;
@@ -267,6 +273,7 @@ class SspaSolver {
   // AssignmentEngine::VerifyAgainstCold in Debug builds and enforced by
   // bench_engine_dispatch's warm/cold cross-check.
   void AdoptFlow(Metrics* metrics) {
+    CCA_TRACE_SPAN_VAR(span, "sspa.adopt_flow");
     struct Adopted {
       std::int32_t q, p;
       std::int64_t units;
@@ -399,6 +406,9 @@ class SspaSolver {
   // the shortest-path cost to the sink. Fills `touched_` with de-heaped
   // nodes (all have alpha <= D).
   double Dijkstra(Metrics* metrics) {
+    CCA_TRACE_SPAN_VAR(span, "sspa.dijkstra");
+    const std::uint64_t pops0 = metrics->dijkstra_pops;
+    const std::uint64_t relaxes0 = metrics->dijkstra_relaxes;
     ++metrics->dijkstra_runs;
     heap_.Clear();
     touched_.clear();
@@ -433,7 +443,11 @@ class SspaSolver {
     while (!heap_.empty()) {
       const auto [u, key] = heap_.PopMin();
       ++metrics->dijkstra_pops;
-      if (u == Sink()) return key;
+      if (u == Sink()) {
+        span.Arg("pops", metrics->dijkstra_pops - pops0);
+        span.Arg("relaxes", metrics->dijkstra_relaxes - relaxes0);
+        return key;
+      }
       touched_.push_back(u);
       if (static_cast<std::size_t>(u) < nq_) {
         if (config_.use_grid && hier_) {
@@ -447,6 +461,8 @@ class SspaSolver {
         RelaxCustomer(static_cast<std::size_t>(u) - nq_, metrics);
       }
     }
+    span.Arg("pops", metrics->dijkstra_pops - pops0);
+    span.Arg("relaxes", metrics->dijkstra_relaxes - relaxes0);
     return kInf;
   }
 

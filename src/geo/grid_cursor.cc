@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace cca {
 
 GridRingCursor::GridRingCursor(const UniformGrid& grid, const Point& query) : grid_(&grid) {
@@ -155,6 +157,8 @@ void HierNnCursor::Refine() {
       const auto f = static_cast<std::size_t>(fine_heap_.top().fine);
       fine_heap_.pop();
       ++fine_visited_;
+      CCA_TRACE_SPAN_VAR(descend_span, "hier.descend");
+      descend_span.Arg("fine_cell", static_cast<std::uint64_t>(f));
       const UniformGrid::CellSlice slice = grid.FineCell(f);
       for (std::size_t i = 0; i < slice.count; ++i) {
         heap_.push(NnCandidate{Distance(query_, Point{slice.xs[i], slice.ys[i]}), slice.ids[i]});

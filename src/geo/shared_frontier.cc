@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/trace.h"
+
 namespace cca {
 
 SharedFrontier::SharedFrontier(const UniformGrid& grid, const std::vector<Point>& queries) {
@@ -36,6 +38,8 @@ void SharedFrontier::Refine(int q) {
     // Multiplexed to this subscriber on an earlier fetch: the points are
     // already in its heap, the walk past the cell just tightens the bound.
     if (sub.delivered[id]) continue;
+    CCA_TRACE_SPAN_VAR(fetch_span, "frontier.cell_fetch");
+    fetch_span.Arg("cell", static_cast<std::uint64_t>(id));
     ++stats_.cell_fetches;
     // One fetch, every active subscriber that still lacks the cell gets
     // its points — the grouped-ANN delivery rule. The demander is active

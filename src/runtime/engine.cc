@@ -7,6 +7,9 @@
 #include <limits>
 #include <utility>
 
+#include "common/timer.h"
+#include "common/trace.h"
+
 namespace cca {
 
 namespace {
@@ -48,6 +51,7 @@ AssignmentEngine::Id AssignmentEngine::InsertCustomer(const Point& pos, std::int
   customer_ids_.push_back(id);
   customer_index_.emplace(id, problem_.customers.size() - 1);
   customers_dirty_ = true;
+  ++stats_.customers_inserted;
   return id;
 }
 
@@ -62,6 +66,7 @@ AssignmentEngine::Id AssignmentEngine::InsertProvider(const Point& pos, std::int
   const Id id = next_id_++;
   provider_ids_.push_back(id);
   provider_index_.emplace(id, problem_.providers.size() - 1);
+  ++stats_.providers_inserted;
   return id;
 }
 
@@ -85,6 +90,7 @@ bool AssignmentEngine::RemoveCustomer(Id id) {
   SwapRemove(&customer_ids_, idx);
   if (idx < customer_ids_.size()) customer_index_[customer_ids_[idx]] = idx;
   customers_dirty_ = true;
+  ++stats_.customers_removed;
   return true;
 }
 
@@ -99,6 +105,7 @@ bool AssignmentEngine::RemoveProvider(Id id) {
   if (idx < provider_ids_.size()) provider_index_[provider_ids_[idx]] = idx;
   // Provider churn never touches the customer indexes: dropping a dual
   // only removes constraints, so the remaining duals stay feasible.
+  ++stats_.providers_removed;
   return true;
 }
 
@@ -168,6 +175,8 @@ void AssignmentEngine::RebuildIndexesIfStale() {
 }
 
 AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
+  CCA_TRACE_SPAN_VAR(span, "engine.resolve");
+  Timer timer;
   RebuildIndexesIfStale();
   SspaConfig cfg = options_.sspa;
   cfg.shared_grid = solve_grid_.get();
@@ -195,6 +204,21 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
   out.warm = warm;
   out.metrics = res.metrics;
   out.matching = std::move(res.matching);
+  // Latency is clocked here — after the serving work (rebuild + warm-start
+  // assembly + solve), before the optional cold cross-check below, which a
+  // production engine never runs.
+  const double latency_ms = timer.ElapsedMillis();
+  span.Arg("warm", warm ? 1 : 0);
+  span.Arg("pops", out.metrics.dijkstra_pops);
+  span.Arg("adopted", out.metrics.warm_units_adopted);
+  ++stats_.resolves;
+  if (warm) ++stats_.warm_resolves;
+  stats_.warm_units_adopted += out.metrics.warm_units_adopted;
+  stats_.totals.Merge(out.metrics);
+  stats_.resolve_latency_ms.Record(latency_ms);
+  for (const MatchPair& pair : out.matching.pairs) {
+    stats_.units_matched += static_cast<std::uint64_t>(pair.units);
+  }
   if (warm) VerifyAgainstCold(cfg, out.cost);
   duals_ = std::move(res.potentials);
   last_flow_.clear();
@@ -209,6 +233,37 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
   // rebuilds on population change).
   nn_floors_ = std::make_unique<CellTauTable>(*nn_grid_, duals_.tau_p);
   return out;
+}
+
+std::string AssignmentEngine::Stats::ToJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"resolves\": %llu, \"warm_resolves\": %llu, "
+      "\"customers_inserted\": %llu, \"customers_removed\": %llu, "
+      "\"providers_inserted\": %llu, \"providers_removed\": %llu, "
+      "\"units_matched\": %llu, \"warm_units_adopted\": %llu, "
+      "\"warm_adoption_ratio\": %.6f, "
+      "\"dijkstra_pops\": %llu, \"dijkstra_relaxes\": %llu, "
+      "\"augmentations\": %llu, \"faults\": %llu, "
+      "\"resolve_ms\": {\"count\": %llu, \"mean\": %.6f, \"p50\": %.6f, "
+      "\"p99\": %.6f, \"max\": %.6f}}",
+      static_cast<unsigned long long>(resolves),
+      static_cast<unsigned long long>(warm_resolves),
+      static_cast<unsigned long long>(customers_inserted),
+      static_cast<unsigned long long>(customers_removed),
+      static_cast<unsigned long long>(providers_inserted),
+      static_cast<unsigned long long>(providers_removed),
+      static_cast<unsigned long long>(units_matched),
+      static_cast<unsigned long long>(warm_units_adopted), warm_adoption_ratio(),
+      static_cast<unsigned long long>(totals.dijkstra_pops),
+      static_cast<unsigned long long>(totals.dijkstra_relaxes),
+      static_cast<unsigned long long>(totals.augmentations),
+      static_cast<unsigned long long>(totals.page_faults),
+      static_cast<unsigned long long>(resolve_latency_ms.Count()), resolve_latency_ms.Mean(),
+      resolve_latency_ms.Percentile(0.50), resolve_latency_ms.Percentile(0.99),
+      resolve_latency_ms.Max());
+  return std::string(buf);
 }
 
 void AssignmentEngine::VerifyAgainstCold(const SspaConfig& warm_config, double warm_cost) {

@@ -47,9 +47,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/metrics.h"
 #include "core/matching.h"
 #include "core/problem.h"
@@ -103,6 +105,45 @@ class AssignmentEngine {
   // the next round.
   ResolveOutcome Resolve();
 
+  // Cumulative runtime stats since construction: the serving engine's
+  // observability surface. Everything is maintained inline (O(1) per edit,
+  // one Metrics::Merge + one Histogram::Record per Resolve), so snapshots
+  // are cheap enough to export per dispatch step. Latencies cover the
+  // engine's own work (index rebuild + warm-start assembly + solve), not
+  // the VerifyAgainstCold cross-check, which is a correctness harness the
+  // serving path never pays for.
+  struct Stats {
+    std::uint64_t resolves = 0;
+    std::uint64_t warm_resolves = 0;  // seeded with previous duals + flow
+    std::uint64_t customers_inserted = 0;
+    std::uint64_t customers_removed = 0;
+    std::uint64_t providers_inserted = 0;
+    std::uint64_t providers_removed = 0;
+    // Units assigned by the most recent Resolve and, for the warm-start
+    // ratio, the cumulative totals across all resolves.
+    std::uint64_t units_matched = 0;
+    std::uint64_t warm_units_adopted = 0;
+    // Solver counters merged across every Resolve (same ledger the batch
+    // benches gate on, so regressions surface on the serving path too).
+    Metrics totals;
+    // Per-Resolve latency in milliseconds (Histogram::Percentile for
+    // p50/p99 without retaining samples).
+    Histogram resolve_latency_ms;
+
+    // Fraction of all matched units re-adopted from the previous solution
+    // instead of re-augmented: the warm-start effectiveness signal
+    // (1.0 - ratio is the churn the solver actually paid for).
+    double warm_adoption_ratio() const {
+      return units_matched > 0
+                 ? static_cast<double>(warm_units_adopted) / static_cast<double>(units_matched)
+                 : 0.0;
+    }
+    // One JSON object: counters, adoption ratio, latency percentiles.
+    std::string ToJson() const;
+  };
+  // Snapshot of the cumulative stats (copy: the engine keeps mutating).
+  Stats stats() const { return stats_; }
+
   const Problem& problem() const { return problem_; }
   std::size_t num_customers() const { return problem_.customers.size(); }
   std::size_t num_providers() const { return problem_.providers.size(); }
@@ -154,6 +195,8 @@ class AssignmentEngine {
   std::vector<std::int32_t> nn_slot_;
   std::size_t nn_pending_ = 0;  // customers with nn_slot_ == -1 (side scan)
   bool customers_dirty_ = true;
+
+  Stats stats_;
 };
 
 }  // namespace cca

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/greedy.h"
 #include "core/nn_source.h"
 
@@ -105,6 +106,11 @@ void QueryRunner::WorkerLoop() {
       if (i >= batch->size()) break;
       (*results)[i] = RunOne((*batch)[i]);
     }
+    // Drain this worker's trace buffer at the batch join: pooled workers
+    // live until QueryRunner teardown, so without this a short tracing
+    // session would never see their spans (thread-exit flush comes too
+    // late). No-op when tracing is compiled out or stopped.
+    trace::FlushThisThread();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++workers_done_;
@@ -121,6 +127,8 @@ QueryOutcome QueryRunner::RunOne(const QuerySpec& spec) const {
   const bool same_customers = spec.problem.customers.size() == index_->customers().size();
 
   QueryOutcome outcome;
+  CCA_TRACE_SPAN_VAR(span, "runner.query");
+  span.Arg("solver", static_cast<std::uint64_t>(spec.solver));
   Timer timer;
   switch (spec.solver) {
     case QuerySolver::kSspa: {

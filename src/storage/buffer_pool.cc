@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/trace.h"
+
 namespace cca {
 
 BufferPool::BufferPool(PageFile* file, std::uint32_t capacity_pages)
@@ -35,6 +37,8 @@ bool BufferPool::ReadPage(PageId id, std::uint8_t* out) {
     return false;
   }
   ++stats_.faults;
+  CCA_TRACE_SPAN_VAR(fault_span, "storage.page_fault");
+  fault_span.Arg("page", static_cast<std::uint64_t>(id));
   if (Frame* f = Install(id)) {
     file_->Read(id, f->data.data());
     std::memcpy(out, f->data.data(), file_->page_size());

@@ -102,5 +102,32 @@ TEST(MetricsTest, ToStringMentionsKeyCounters) {
   EXPECT_NE(s.find("Esub"), std::string::npos);
 }
 
+// ToString completeness via the same memcpy view as the Merge test: every
+// counter slot gets a distinct sentinel value, and every sentinel must
+// appear in the printed line. Since ToString is generated from
+// CCA_METRICS_COUNTER_FIELDS (like Merge and kMetricsCounterCount), this
+// pins the whole table: a counter whose row was dropped would print
+// nothing and fail here.
+TEST(MetricsTest, ToStringCoversEveryCounterSlot) {
+  Metrics m;
+  std::uint64_t vals[kMetricsCounterCount];
+  // Distinct, high, non-overlapping decimal patterns: 1000001, 1000002, ...
+  // (small sentinels like 1/2/3 would collide as substrings of each other).
+  for (std::size_t i = 0; i < kMetricsCounterCount; ++i) vals[i] = 1000001 + i;
+  std::memcpy(&m, vals, sizeof(vals));
+  const std::string s = m.ToString();
+  for (std::size_t i = 0; i < kMetricsCounterCount; ++i) {
+    EXPECT_NE(s.find(std::to_string(vals[i])), std::string::npos)
+        << "counter slot " << i << " missing from ToString: " << s;
+  }
+  // The label=value shape holds for a known field, and every zero counter
+  // stays out of the line.
+  Metrics quiet;
+  quiet.dijkstra_pops = 7;
+  const std::string qs = quiet.ToString();
+  EXPECT_NE(qs.find("dijkstra_pops=7"), std::string::npos) << qs;
+  EXPECT_EQ(qs.find("Esub"), std::string::npos) << qs;
+}
+
 }  // namespace
 }  // namespace cca

@@ -1,0 +1,51 @@
+// Timer tests (src/common/timer.h): monotonicity is the whole contract.
+//
+// Every latency in the repo — cpu_millis, the serving benches' histograms,
+// trace span durations — flows through Timer, so it must be pinned to a
+// steady clock: a wall-clock Timer would go backwards under NTP slews and
+// produce negative latencies. The compile-time pin is the static_assert on
+// Clock::is_steady inside Timer itself; these tests cover the runtime
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace cca {
+namespace {
+
+TEST(TimerTest, ElapsedNeverDecreases) {
+  Timer timer;
+  double prev = timer.ElapsedMillis();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = timer.ElapsedMillis();
+    EXPECT_GE(now, prev) << "elapsed time went backwards at iteration " << i;
+    prev = now;
+  }
+}
+
+TEST(TimerTest, MeasuresRealDelay) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = timer.ElapsedMillis();
+  // sleep_for may overshoot but never undershoots on a steady clock.
+  EXPECT_GE(ms, 20.0);
+}
+
+TEST(TimerTest, RestartRezeroes) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double before = timer.ElapsedMillis();
+  EXPECT_GE(before, 5.0);
+  timer.Restart();
+  // After Restart the elapsed time must be (a) small and (b) still
+  // monotonic from the new origin.
+  const double after = timer.ElapsedMillis();
+  EXPECT_LT(after, before);
+  EXPECT_GE(timer.ElapsedMillis(), after);
+}
+
+}  // namespace
+}  // namespace cca

@@ -66,6 +66,11 @@ COUNTER_KEYS = (
     # drift is a correctness bug, not a perf trade (bench_engine_qps rows).
     "augmentations",
 )
+# Timing / latency-histogram fields: carried through and reported per row
+# so a reviewer can eyeball drift, but NEVER gated -- wall clock and
+# percentile latencies are machine-dependent (the histogram percentiles
+# additionally quantise to <= 12.5% buckets, see common/histogram.h).
+REPORT_KEYS = ("qps", "wall_ms", "p50_ms", "p99_ms", "p999_ms", "mean_ms")
 
 
 def row_id(row):
@@ -118,6 +123,13 @@ def main():
     for key in shared:
         new, base = new_rows[key], base_rows[key]
         label = " ".join(f"{k}={v}" for k, v in key)
+        reported = [
+            f"{k} {base[k]:g} -> {new[k]:g}"
+            for k in REPORT_KEYS
+            if k in new and k in base
+        ]
+        if reported:
+            print(f"  [timing, not gated] {label}: " + ", ".join(reported))
         if "cost" in new and "cost" in base:
             tol = args.cost_tol * max(1.0, abs(base["cost"]))
             if abs(new["cost"] - base["cost"]) > tol:
