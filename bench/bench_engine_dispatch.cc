@@ -23,6 +23,7 @@
 //                         [--trace-out FILE]  (tracing-enabled builds only)
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -48,6 +49,13 @@ struct ModeStats {
   double wall_ms = 0.0;
   cca::Histogram latency_ms;  // fixed-memory percentile source
   cca::Metrics totals;
+  // Failure-model counters (engine-cumulative, snapshotted after the run).
+  // All three must stay 0 in committed baselines: the bench sets no
+  // deadline and its instances are feasible, so any nonzero value is a
+  // regression bench_diff flags (the baseline gates growth from 0).
+  std::uint64_t deadline_breaches = 0;
+  std::uint64_t degraded_resolves = 0;
+  std::uint64_t unassigned_units = 0;
 };
 
 struct Row {
@@ -113,7 +121,9 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
                  "\"mean_ms\": %.3f, \"wall_ms\": %.1f, "
                  "\"cost\": %.3f, \"pops\": %llu, \"relaxes\": %llu, "
                  "\"augmentations\": %llu, \"dual_repairs\": %llu, "
-                 "\"warm_units_adopted\": %llu}%s\n",
+                 "\"warm_units_adopted\": %llu, "
+                 "\"deadline_breaches\": %llu, \"degraded_resolves\": %llu, "
+                 "\"unassigned_units\": %llu}%s\n",
                  r.shape.dist, r.shape.nq, r.shape.np, r.shape.k, r.mode, r.qps, r.p50_ms,
                  r.p99_ms, r.p999_ms, r.mean_ms, r.stats.wall_ms, r.stats.cost,
                  static_cast<unsigned long long>(m.dijkstra_pops),
@@ -121,6 +131,9 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
                  static_cast<unsigned long long>(m.augmentations),
                  static_cast<unsigned long long>(m.dual_repairs),
                  static_cast<unsigned long long>(m.warm_units_adopted),
+                 static_cast<unsigned long long>(r.stats.deadline_breaches),
+                 static_cast<unsigned long long>(r.stats.degraded_resolves),
+                 static_cast<unsigned long long>(r.stats.unassigned_units),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -214,7 +227,8 @@ int main(int argc, char** argv) {
     std::size_t next_customer = 0, next_provider = 0;
     auto arrive_customer = [&] {
       const cca::Point& pos = customer_pool[next_customer++ % customer_pool.size()];
-      customers.emplace_back(warm_engine.InsertCustomer(pos), cold_engine.InsertCustomer(pos));
+      customers.emplace_back(warm_engine.InsertCustomer(pos).value(),
+                             cold_engine.InsertCustomer(pos).value());
     };
     auto arrive_provider = [&] {
       const cca::Point& pos = provider_pool[next_provider++ % provider_pool.size()];
@@ -268,6 +282,11 @@ int main(int argc, char** argv) {
       row.shape = s;
       row.mode = st == &warm_stats ? "warm" : "cold";
       row.stats = *st;
+      const cca::AssignmentEngine::Stats& es =
+          (st == &warm_stats ? warm_engine : cold_engine).stats();
+      row.stats.deadline_breaches = es.deadline_breaches;
+      row.stats.degraded_resolves = es.degraded_resolves;
+      row.stats.unassigned_units = es.unassigned_units;
       row.p50_ms = row.stats.latency_ms.Percentile(0.50);
       row.p99_ms = row.stats.latency_ms.Percentile(0.99);
       row.p999_ms = row.stats.latency_ms.Percentile(0.999);

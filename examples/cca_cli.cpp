@@ -94,15 +94,37 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     if (flag == "--solver") {
       args->solver = next();
     } else if (flag == "--nq") {
-      args->nq = static_cast<std::size_t>(std::atoll(next()));
+      const long long v = std::atoll(next());
+      if (v < 1) {
+        std::fprintf(stderr, "invalid instance: --nq must be >= 1 (got %lld)\n", v);
+        return false;
+      }
+      args->nq = static_cast<std::size_t>(v);
     } else if (flag == "--np") {
-      args->np = static_cast<std::size_t>(std::atoll(next()));
+      const long long v = std::atoll(next());
+      if (v < 1) {
+        std::fprintf(stderr, "invalid instance: --np must be >= 1 (got %lld)\n", v);
+        return false;
+      }
+      args->np = static_cast<std::size_t>(v);
     } else if (flag == "--k") {
       args->k = std::atoi(next());
+      if (args->k < 1) {
+        std::fprintf(stderr, "invalid instance: --k must be >= 1 (got %d)\n", args->k);
+        return false;
+      }
     } else if (flag == "--delta") {
       args->delta = std::atof(next());
+      if (!(args->delta > 0.0)) {
+        std::fprintf(stderr, "invalid instance: --delta must be > 0 (got %g)\n", args->delta);
+        return false;
+      }
     } else if (flag == "--theta") {
       args->theta = std::atof(next());
+      if (!(args->theta > 0.0)) {
+        std::fprintf(stderr, "invalid instance: --theta must be > 0 (got %g)\n", args->theta);
+        return false;
+      }
     } else if (flag == "--dist-q") {
       args->clustered_q = std::strcmp(next(), "c") == 0;
     } else if (flag == "--dist-p") {
@@ -317,6 +339,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(problem.Gamma()));
   std::printf("cost=%.3f\n", matching.cost());
   std::printf("assigned=%lld\n", static_cast<long long>(matching.size()));
+  // Demand the matching left unserved. On capacity-limited instances this
+  // equals the overflow (total weight - total capacity); on feasible ones
+  // a nonzero value means the solver under-delivered (valid=no catches it).
+  std::printf("unassigned=%lld\n",
+              static_cast<long long>(problem.TotalWeight() - matching.size()));
   std::printf("valid=%s%s%s\n", valid ? "yes" : "no", valid ? "" : " error=",
               valid ? "" : error.c_str());
   std::printf("esub=%llu\n", static_cast<unsigned long long>(metrics.edges_inserted));

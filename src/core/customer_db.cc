@@ -23,7 +23,9 @@ CustomerDb::CustomerDb(const std::vector<Point>& points, const Options& options)
 void CustomerDb::Prewarm() {
   std::vector<std::uint8_t> scratch(tree_->options().page_size);
   for (PageId id = 0; id < tree_->page_count(); ++id) {
-    tree_->buffer().ReadPage(id, scratch.data());
+    // Best-effort cache warming: a page that cannot be read now will be
+    // read (and retried) on first real access instead.
+    tree_->buffer().ReadPage(id, scratch.data()).IgnoreError();
   }
 }
 

@@ -20,9 +20,52 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Virtual-provider capacity: the demand the real providers cannot absorb
+// (0 on feasible instances or when overflow routing is off).
+std::int64_t ComputeOverflow(const Problem& problem, const SspaConfig& config) {
+  if (!config.allow_overflow) return 0;
+  std::int64_t capacity = 0;
+  for (const Provider& q : problem.providers) capacity += q.capacity;
+  std::int64_t weight = 0;
+  for (std::size_t p = 0; p < problem.customers.size(); ++p) weight += problem.weight(p);
+  return std::max<std::int64_t>(0, weight - capacity);
+}
+
+// The documented default penalty: 2x the bounding-box diagonal of all
+// points + 1, strictly above any real edge cost. The matching itself is
+// penalty-independent (the virtual capacity equals the overflow exactly,
+// so real capacity always saturates — see SspaConfig::allow_overflow);
+// staying above every distance keeps Dijkstra's path ordering treating the
+// virtual provider as the strict last resort.
+double ComputeOverflowPenalty(const Problem& problem, const SspaConfig& config) {
+  if (config.overflow_penalty > 0.0) return config.overflow_penalty;
+  double lo_x = kInf, lo_y = kInf, hi_x = -kInf, hi_y = -kInf;
+  const auto grow = [&](const Point& pt) {
+    lo_x = std::min(lo_x, pt.x);
+    lo_y = std::min(lo_y, pt.y);
+    hi_x = std::max(hi_x, pt.x);
+    hi_y = std::max(hi_y, pt.y);
+  };
+  for (const Provider& q : problem.providers) grow(q.pos);
+  for (const Point& p : problem.customers) grow(p);
+  if (lo_x > hi_x) return 1.0;  // no points at all
+  const double diag = Distance(Point{lo_x, lo_y}, Point{hi_x, hi_y});
+  return 2.0 * diag + 1.0;
+}
+
 // SSPA solver. Node ids: providers [0, nq), customers [nq, nq+np), sink
 // t = nq+np. The source is implicit: Dijkstra seeds every provider with
 // remaining capacity at alpha = tau(q) (reduced cost of s->q).
+//
+// Overflow mode (SspaConfig::allow_overflow, infeasible instances only):
+// nq includes one extra *virtual* provider slot at index real_nq with
+// capacity = overflow and a flat-cost edge (penalty_) to every customer.
+// All generic machinery — seeding, Augment's path walk, flow records,
+// potentials — works on the extended index range through the
+// ProviderCapacity/EdgeCost accessors; only the relax step (RelaxVirtual:
+// no geometry, uniform cost) and the exports (virtual pairs become the
+// unassigned ledger, the exported tau_q strips the virtual slot) are
+// special-cased.
 //
 // Flow records: with unit customers a customer holds at most one inbound
 // unit (conservation against the capacity-1 sink edge), so the assignment
@@ -35,7 +78,10 @@ class SspaSolver {
   SspaSolver(const Problem& problem, const SspaConfig& config)
       : problem_(problem),
         config_(config),
-        nq_(problem.providers.size()),
+        real_nq_(problem.providers.size()),
+        overflow_(ComputeOverflow(problem, config)),
+        penalty_(overflow_ > 0 ? ComputeOverflowPenalty(problem, config) : 0.0),
+        nq_(real_nq_ + (overflow_ > 0 ? 1 : 0)),
         np_(problem.customers.size()),
         unit_customers_(problem.weights.empty()),
         tau_q_(nq_, 0.0),
@@ -55,11 +101,16 @@ class SspaSolver {
     // restored by RepairDuals before the first Dijkstra run.
     if (config_.initial_potentials != nullptr) {
       const SspaPotentials& init = *config_.initial_potentials;
-      assert(init.tau_q.size() == nq_ && init.tau_p.size() == np_);
-      for (std::size_t q = 0; q < nq_; ++q) tau_q_[q] = std::max(0.0, init.tau_q[q]);
+      assert(init.tau_q.size() == real_nq_ && init.tau_p.size() == np_);
+      for (std::size_t q = 0; q < real_nq_; ++q) tau_q_[q] = std::max(0.0, init.tau_q[q]);
       for (std::size_t p = 0; p < np_; ++p) tau_p_[p] = std::max(0.0, init.tau_p[p]);
       warm_ = true;
     }
+    // The virtual provider's dual always seeds at the penalty: feasible for
+    // every edge (reduced cost penalty + tau_p - penalty = tau_p >= 0, warm
+    // or cold), and it keeps the virtual node at the bottom of the heap so
+    // real capacity is exhausted before the overflow path is ever explored.
+    if (overflow_ > 0) tau_q_[real_nq_] = penalty_;
     // The hierarchical grid subsumes the flat one whenever the cell floors
     // it aggregates exist: with use_cell_floors + use_hierarchy no flat
     // grid is built at all, and both relax strategies route through the
@@ -122,17 +173,28 @@ class SspaSolver {
     CCA_TRACE_SPAN_VAR(span, "sspa.solve");
     Timer timer;
     SspaResult result;
-    result.conceptual_edges = static_cast<std::uint64_t>(nq_) * static_cast<std::uint64_t>(np_);
+    result.conceptual_edges =
+        static_cast<std::uint64_t>(real_nq_) * static_cast<std::uint64_t>(np_);
     // Build-shape diagnostic: how many coarse cells the (owned or shared)
     // hierarchy subdivided, charged once per solve that consults it.
     if (hier_ != nullptr) result.metrics.hier_splits += hier_->splits();
     if (warm_) RepairDuals(&result.metrics);
-    std::int64_t remaining = problem_.Gamma();
+    // Overflow mode raises the target to the total weight: the virtual
+    // provider absorbs exactly the demand the real capacity cannot.
+    std::int64_t remaining = problem_.Gamma() + overflow_;
     // Flow adopted from a warm start (initial_matching) already sits on
     // tight arcs; only the deficit is re-augmented. Zero on cold solves.
     for (std::size_t p = 0; p < np_; ++p) remaining -= sink_flow_[p];
     assert(remaining >= 0);
     while (remaining > 0) {
+      // Cooperative deadline, checked at Dijkstra-run granularity: one run
+      // + augment + potential update is the smallest step that leaves the
+      // duals feasible and the partial flow capacity-respecting, so
+      // breaking here always hands back a consistent (if partial) state.
+      if (config_.deadline_ms > 0.0 && timer.ElapsedMillis() > config_.deadline_ms) {
+        result.deadline_exceeded = true;
+        break;
+      }
       const double d = Dijkstra(&result.metrics);
       assert(d < kInf && "flow graph must admit gamma units");
       const std::int64_t pushed = Augment(remaining);
@@ -141,9 +203,25 @@ class SspaSolver {
       ++result.metrics.augmentations;
     }
     ExtractMatching(&result.matching);
+    // The unassigned ledger: per-customer demand no real provider serves —
+    // overflow units routed to the virtual provider and/or units a
+    // deadline breach left un-augmented. Exact complement of the matching.
+    std::vector<std::int64_t> served(np_, 0);
+    for (const MatchPair& pair : result.matching.pairs) {
+      served[static_cast<std::size_t>(pair.customer)] += pair.units;
+    }
+    for (std::size_t p = 0; p < np_; ++p) {
+      const std::int64_t gap = problem_.weight(p) - served[p];
+      if (gap > 0) {
+        result.unassigned.push_back(UnassignedUnit{static_cast<std::int32_t>(p), gap});
+        result.unassigned_units += gap;
+      }
+    }
     // Export the final duals: they certify this matching's optimality and
     // are the warm seed for a follow-up solve on a perturbed instance.
-    result.potentials.tau_q = tau_q_;
+    // The virtual slot is internal and stripped — callers feed these back
+    // as initial_potentials sized to the *real* provider array.
+    result.potentials.tau_q.assign(tau_q_.begin(), tau_q_.begin() + static_cast<std::ptrdiff_t>(real_nq_));
     result.potentials.tau_p = tau_p_;
     result.metrics.cpu_millis = timer.ElapsedMillis();
     span.Arg("augmentations", result.metrics.augmentations);
@@ -154,6 +232,20 @@ class SspaSolver {
 
  private:
   int Sink() const { return static_cast<int>(nq_ + np_); }
+
+  // Source-edge capacity of provider slot q; the extra virtual slot (only
+  // present when overflow mode is active) holds exactly the overflow, so
+  // every feasible flow still saturates the real providers.
+  std::int64_t ProviderCapacity(std::size_t q) const {
+    return q < real_nq_ ? problem_.providers[q].capacity : overflow_;
+  }
+
+  // Cost of edge q -> p: Euclidean for real providers, the flat penalty
+  // for the virtual overflow slot.
+  double EdgeCost(std::size_t q, std::size_t p) const {
+    return q < real_nq_ ? Distance(problem_.providers[q].pos, problem_.customers[p])
+                        : penalty_;
+  }
 
   // Restores the warm-start invariants before the first Dijkstra run (the
   // full soundness argument lives in src/runtime/README.md):
@@ -191,12 +283,15 @@ class SspaSolver {
     CCA_TRACE_SPAN_VAR(span, "sspa.repair_duals");
     std::int64_t total_weight = 0;
     for (std::size_t p = 0; p < np_; ++p) total_weight += problem_.weight(p);
-    const bool ample = problem_.Gamma() >= total_weight;
+    // Overflow mode restores the ample regime on infeasible instances: the
+    // effective gamma (real capacity + virtual overflow) is the total
+    // weight, so flow adoption stays sound across the feasibility boundary.
+    const bool ample = problem_.Gamma() + overflow_ >= total_weight;
     if (ample && config_.initial_matching != nullptr) {
       AdoptFlow(metrics);
       return;
     }
-    for (std::size_t q = 0; q < nq_; ++q) {
+    for (std::size_t q = 0; q < real_nq_; ++q) {
       const double best = TauAugmentedNn(q, tau_q_[q], metrics);
       if (best < tau_q_[q]) {
         tau_q_[q] = best;
@@ -285,7 +380,9 @@ class SspaSolver {
       const auto q = static_cast<std::size_t>(pair.provider);
       const auto p = static_cast<std::size_t>(pair.customer);
       const auto units = static_cast<std::int64_t>(pair.units);
-      if (q >= nq_ || p >= np_) continue;
+      // Only real providers are adoptable (callers never see the virtual
+      // index, but a stale matching is rejected defensively).
+      if (q >= real_nq_ || p >= np_) continue;
       if (unit_customers_ && (units != 1 || serving_[p] >= 0)) continue;
       if (used_q_[q] + units > problem_.providers[q].capacity) continue;
       if (sink_flow_[p] + units > problem_.weight(p)) continue;
@@ -308,7 +405,7 @@ class SspaSolver {
         }
       }
     }
-    for (std::size_t q = 0; q < nq_; ++q) {
+    for (std::size_t q = 0; q < real_nq_; ++q) {
       const double best = TauAugmentedNn(q, tau_q_[q], metrics);
       if (best < tau_q_[q]) {
         tau_q_[q] = best;
@@ -336,7 +433,9 @@ class SspaSolver {
       const Point p_pos = problem_.customers[p];
       const double held = Distance(problem_.providers[q].pos, p_pos);
       bool contested = false;
-      for (std::size_t other = 0; other < nq_; ++other) {
+      // The virtual provider never contests: its flat penalty exceeds any
+      // real distance by construction.
+      for (std::size_t other = 0; other < real_nq_; ++other) {
         if (other == q) continue;
         if (Distance(problem_.providers[other].pos, p_pos) < held) {
           contested = true;
@@ -434,7 +533,7 @@ class SspaSolver {
       }
     }
     for (std::size_t q = 0; q < nq_; ++q) {
-      if (used_q_[q] < problem_.providers[q].capacity) {
+      if (used_q_[q] < ProviderCapacity(q)) {
         alpha_[q] = tau_q_[q];
         prev_[q] = -1;  // reached from the source
         heap_.PushOrDecrease(static_cast<int>(q), alpha_[q]);
@@ -450,7 +549,9 @@ class SspaSolver {
       }
       touched_.push_back(u);
       if (static_cast<std::size_t>(u) < nq_) {
-        if (config_.use_grid && hier_) {
+        if (overflow_ > 0 && static_cast<std::size_t>(u) == real_nq_) {
+          RelaxVirtual(metrics);
+        } else if (config_.use_grid && hier_) {
           RelaxProviderHier(static_cast<std::size_t>(u), metrics);
         } else if (config_.use_grid && grid_) {
           RelaxProviderGrid(static_cast<std::size_t>(u), metrics);
@@ -833,6 +934,32 @@ class SspaSolver {
     }
   }
 
+  // Relax step for the virtual overflow slot: one flat-penalty edge to
+  // every customer, scanned densely. The penalty dominates every real
+  // distance by construction, so this node sits at the bottom of the heap
+  // and pops only on runs where no cheaper real residual path reaches the
+  // sink — the dense scan is not a hot path, and the run_ub prune still
+  // skips customers that cannot beat the current certified upper bound.
+  void RelaxVirtual(Metrics* metrics) {
+    const std::size_t q = real_nq_;
+    const double base = alpha_[q] - tau_q_[q] + penalty_;
+    for (std::size_t p = 0; p < np_; ++p) {
+      // A saturated unit edge only has its reverse direction left.
+      if (unit_customers_ && serving_[p] == static_cast<std::int32_t>(q)) continue;
+      const double cand = std::max(base + tau_p_[p], alpha_[q]);
+      if (cand >= std::min(alpha_[static_cast<std::size_t>(Sink())], run_ub_)) {
+        ++metrics->relaxes_pruned;
+        continue;
+      }
+      ++metrics->dijkstra_relaxes;
+      if (sink_flow_[p] < problem_.weight(p)) {
+        const double through = cand + std::max(tau_t_ - tau_p_[p], 0.0);
+        if (through < run_ub_) run_ub_ = through;
+      }
+      Relax(static_cast<int>(nq_ + p), cand, static_cast<int>(q));
+    }
+  }
+
   void RelaxCustomer(std::size_t p, Metrics* metrics) {
     // Sink edge (cost 0, reduced tau_t - tau_p). With tau_t = 0 — cold
     // and flow-adopting warm starts — the clamp relaxes every unsaturated
@@ -846,11 +973,10 @@ class SspaSolver {
             static_cast<int>(nq_ + p));
     }
     // Reverse edges toward providers currently serving p.
-    const Point p_pos = problem_.customers[p];
     ForEachFlow(p, [&](std::int32_t provider, std::int64_t /*units*/) {
       ++metrics->dijkstra_relaxes;
       const auto q = static_cast<std::size_t>(provider);
-      const double w = -Distance(problem_.providers[q].pos, p_pos) - tau_p_[p] + tau_q_[q];
+      const double w = -EdgeCost(q, p) - tau_p_[p] + tau_q_[q];
       Relax(provider, alpha_[nq_ + p] + std::max(w, 0.0), static_cast<int>(nq_ + p));
     });
   }
@@ -875,7 +1001,7 @@ class SspaSolver {
       if (u < 0) {
         // v is the first provider, fed by the source edge.
         const auto q = static_cast<std::size_t>(v);
-        push = std::min<std::int64_t>(push, problem_.providers[q].capacity - used_q_[q]);
+        push = std::min<std::int64_t>(push, ProviderCapacity(q) - used_q_[q]);
         break;
       }
       v = u;
@@ -974,6 +1100,10 @@ class SspaSolver {
   void ExtractMatching(Matching* matching) const {
     for (std::size_t p = 0; p < np_; ++p) {
       ForEachFlow(p, [&](std::int32_t provider, std::int64_t units) {
+        // Units on the virtual overflow slot are demand no real provider
+        // can serve; they surface in SspaResult::unassigned, never in the
+        // matching (whose cost stays penalty-free).
+        if (overflow_ > 0 && static_cast<std::size_t>(provider) == real_nq_) return;
         matching->Add(provider, static_cast<std::int32_t>(p),
                       static_cast<std::int32_t>(units),
                       Distance(problem_.providers[static_cast<std::size_t>(provider)].pos,
@@ -1015,7 +1145,12 @@ class SspaSolver {
 
   const Problem& problem_;
   SspaConfig config_;
-  std::size_t nq_;
+  // Declaration order matters: the ctor init list derives overflow_ and
+  // penalty_ from the problem, then nq_ = real_nq_ + (overflow_ > 0).
+  std::size_t real_nq_;        // providers the caller knows about
+  std::int64_t overflow_ = 0;  // virtual slot capacity; 0 = no virtual slot
+  double penalty_ = 0.0;       // flat virtual edge cost (> any real distance)
+  std::size_t nq_;             // real_nq_ plus the virtual slot if active
   std::size_t np_;
   bool unit_customers_;
   PointsSoA coords_;  // legacy dense mode only, built lazily

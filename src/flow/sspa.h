@@ -121,6 +121,43 @@ struct SspaConfig {
   std::size_t hier_split_threshold = 0;
   // Prebuilt hierarchical grid, same ownership contract as shared_grid.
   const HierarchicalGrid* shared_hier_grid = nullptr;
+  // Infeasible-instance graceful degradation. When total demand exceeds
+  // total capacity, gamma = total capacity and a plain solve returns the
+  // min-cost *partial* matching of that size with no record of who was
+  // left out — and, worse for the serving engine, the capacity-limited
+  // regime disables flow adoption, so every churn step pays a full
+  // re-solve. With allow_overflow the solver adds one internal *virtual*
+  // provider whose capacity is exactly the overflow (total weight - total
+  // capacity) and whose edge to every customer costs a flat
+  // overflow_penalty: the effective gamma becomes the total weight, the
+  // ample-capacity regime (and warm flow adoption) applies on both sides
+  // of the feasibility boundary, and the units routed to the virtual
+  // provider come back in SspaResult::unassigned instead of silently
+  // vanishing. Because the virtual capacity equals the overflow exactly,
+  // every feasible flow saturates the real providers, so the real
+  // sub-matching is the min-cost maximum matching regardless of the
+  // penalty's magnitude (the penalty contributes the constant
+  // overflow * penalty, which is excluded from the reported cost along
+  // with the virtual pairs). Feasible instances are bit-identical with
+  // the flag on or off — the virtual provider only materialises when
+  // overflow > 0. Default off so committed batch-bench trajectories are
+  // untouched; AssignmentEngine turns it on.
+  bool allow_overflow = false;
+  // Cost of the virtual provider's edge to every customer. <= 0 derives
+  // the documented default: 2x the instance's bounding-box diagonal + 1,
+  // strictly above any real distance so the virtual provider never
+  // undercuts real capacity in any Dijkstra run's path ordering.
+  double overflow_penalty = 0.0;
+  // Cooperative deadline for the whole solve, in wall milliseconds;
+  // <= 0 disables. Checked once per augmentation (Dijkstra-run
+  // granularity — one run is the smallest unit that leaves the duals and
+  // partial flow consistent). On breach the solver stops cleanly:
+  // SspaResult::deadline_exceeded is set, the matching holds the
+  // (capacity-respecting, possibly partial) flow augmented so far, and
+  // the unassigned ledger accounts for every unit not served by a real
+  // provider. Callers own the degradation policy (AssignmentEngine falls
+  // back to its last-known-good matching, src/runtime/README.md).
+  double deadline_ms = 0.0;
   // Warm start (src/runtime/engine.h AssignmentEngine): duals to seed the
   // solve with, typically a previous solve's SspaResult::potentials after
   // the point sets were perturbed. Sizes must match the problem's provider
@@ -153,6 +190,12 @@ struct SspaConfig {
   const Matching* initial_matching = nullptr;
 };
 
+// One customer's unserved demand in SspaResult::unassigned.
+struct UnassignedUnit {
+  std::int32_t customer = -1;
+  std::int64_t units = 0;
+};
+
 struct SspaResult {
   Matching matching;
   Metrics metrics;
@@ -160,6 +203,18 @@ struct SspaResult {
   // SspaConfig::initial_potentials to warm-start a follow-up solve.
   SspaPotentials potentials;
   std::uint64_t conceptual_edges = 0;  // |Q| * |P|
+  // Units not served by any real provider, sorted by customer index: the
+  // matching's exact per-customer complement. Populated whenever demand
+  // goes unserved — overflow routed to the virtual provider (allow_overflow
+  // on an infeasible instance), a plain capacity-limited partial solve, or
+  // demand cut off by a deadline breach. Empty exactly when the matching
+  // serves every customer in full.
+  std::vector<UnassignedUnit> unassigned;
+  std::int64_t unassigned_units = 0;
+  // The cooperative deadline (SspaConfig::deadline_ms) fired before all
+  // augmentations completed; matching/unassigned describe the partial
+  // flow at the breach.
+  bool deadline_exceeded = false;
 };
 
 // Computes the optimal CCA matching with SSPA. Supports weighted customers

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <queue>
 
@@ -47,7 +49,18 @@ RTree::~RTree() = default;
 RTreeNode RTree::ReadNode(PageId id) {
   node_accesses_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t>& scratch = TlsScratch(options_.page_size);
-  const bool faulted = buffer_.ReadPage(id, scratch.data());
+  bool faulted = false;
+  const Status status = buffer_.ReadPage(id, scratch.data(), &faulted);
+  if (!status.ok()) {
+    // Deep traversal has no recovery path of its own: the pool already
+    // exhausted its bounded retry budget (or the id itself is invalid,
+    // which is a tree-construction bug), so fail fast rather than
+    // deserialize garbage. Injected faults never reach here by
+    // construction (max_consecutive_faults < kMaxReadRetries).
+    std::fprintf(stderr, "RTree::ReadNode: unrecoverable page read: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
   // Attribute the access (and its fault verdict) to every tally this
   // thread has registered for this tree — nested scopes all see it.
   for (ScopedIoTally* s = tls_tally_top; s != nullptr; s = s->parent_) {
@@ -62,7 +75,13 @@ RTreeNode RTree::ReadNode(PageId id) {
 void RTree::WriteNode(PageId id, const RTreeNode& node) {
   std::vector<std::uint8_t>& scratch = TlsScratch(options_.page_size);
   node.Serialize(scratch.data(), options_.page_size);
-  buffer_.WritePage(id, scratch.data());
+  const Status status = buffer_.WritePage(id, scratch.data());
+  if (!status.ok()) {
+    // Writes happen only at build time against ids this tree allocated;
+    // a failure here is a construction bug, not a runtime condition.
+    std::fprintf(stderr, "RTree::WriteNode: %s\n", status.ToString().c_str());
+    std::abort();
+  }
 }
 
 void RTree::SetBufferFraction(double fraction) {

@@ -26,8 +26,18 @@ void SwapRemove(std::vector<T>* v, std::size_t idx) {
 
 AssignmentEngine::AssignmentEngine(const Options& options) : options_(options) {}
 
-AssignmentEngine::Id AssignmentEngine::InsertCustomer(const Point& pos, std::int32_t weight) {
-  assert(weight >= 1 && "customer weight must be positive");
+StatusOr<AssignmentEngine::Id> AssignmentEngine::InsertCustomer(const Point& pos,
+                                                                std::int32_t weight) {
+  // Boundary validation (the Status contract): a NaN coordinate would
+  // poison every distance comparison downstream — Dijkstra's heap order,
+  // the grid's cell assignment — and a non-positive weight breaks the
+  // flow network's gamma accounting. Reject here, mutate nothing.
+  if (!std::isfinite(pos.x) || !std::isfinite(pos.y)) {
+    return InvalidArgumentError("customer position must be finite");
+  }
+  if (weight < 1) {
+    return InvalidArgumentError("customer weight must be >= 1");
+  }
   // The weights array stays empty while every customer is unit-weight so
   // the solver keeps its flat serving_ fast path; the first non-unit
   // weight materialises it.
@@ -55,8 +65,14 @@ AssignmentEngine::Id AssignmentEngine::InsertCustomer(const Point& pos, std::int
   return id;
 }
 
-AssignmentEngine::Id AssignmentEngine::InsertProvider(const Point& pos, std::int32_t capacity) {
-  assert(capacity >= 0 && "provider capacity must be non-negative");
+StatusOr<AssignmentEngine::Id> AssignmentEngine::InsertProvider(const Point& pos,
+                                                                std::int32_t capacity) {
+  if (!std::isfinite(pos.x) || !std::isfinite(pos.y)) {
+    return InvalidArgumentError("provider position must be finite");
+  }
+  if (capacity < 1) {
+    return InvalidArgumentError("provider capacity must be >= 1");
+  }
   // Largest dual feasible against every customer: tau_q <= dist + tau_p
   // for all p. The in-solver repair pass would catch any overestimate, but
   // seeding exactly keeps the repair a no-op for everyone else.
@@ -181,6 +197,12 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
   SspaConfig cfg = options_.sspa;
   cfg.shared_grid = solve_grid_.get();
   cfg.shared_hier_grid = solve_hier_.get();
+  // The serving engine always degrades gracefully on infeasible snapshots:
+  // demand the capacity cannot absorb routes to the solver's virtual
+  // overflow provider and comes back as the unassigned ledger instead of
+  // aborting (no-op while the snapshot stays feasible — the virtual slot
+  // only materialises when total demand exceeds total capacity).
+  cfg.allow_overflow = true;
   const bool warm = options_.warm_start && have_solution_;
   cfg.initial_potentials = warm ? &duals_ : nullptr;
   // Previous flow remapped through the churn: pairs whose endpoints left
@@ -198,12 +220,38 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
     }
     cfg.initial_matching = &adopt;
   }
-  SspaResult res = SolveSspa(problem_, cfg);
+  // Deadline: the solver gets whatever is left of the Resolve budget after
+  // the rebuild + warm-start assembly above. A budget already spent before
+  // the solve starts skips it entirely — same degradation, zero stall.
+  bool breached_before_solve = false;
+  if (options_.resolve_deadline_ms > 0.0) {
+    const double left = options_.resolve_deadline_ms - timer.ElapsedMillis();
+    if (left <= 0.0) {
+      breached_before_solve = true;
+    } else {
+      cfg.deadline_ms = left;
+    }
+  }
+  SspaResult res;
+  if (!breached_before_solve) res = SolveSspa(problem_, cfg);
+  const bool degraded = breached_before_solve || res.deadline_exceeded;
   ResolveOutcome out;
-  out.cost = res.matching.cost();
   out.warm = warm;
   out.metrics = res.metrics;
-  out.matching = std::move(res.matching);
+  if (degraded) {
+    // The partial solve is discarded: its flow is capacity-respecting but
+    // not a certified optimum, and feeding it back into the warm-start
+    // state would break the warm == cold anchor. Serve the last-known-good
+    // matching (remapped through the churn) plus a greedy patch instead.
+    BuildDegradedOutcome(&out);
+    ++stats_.deadline_breaches;
+    ++stats_.degraded_resolves;
+  } else {
+    out.cost = res.matching.cost();
+    out.matching = std::move(res.matching);
+    out.unassigned = std::move(res.unassigned);
+    out.unassigned_units = res.unassigned_units;
+  }
   // Latency is clocked here — after the serving work (rebuild + warm-start
   // assembly + solve), before the optional cold cross-check below, which a
   // production engine never runs.
@@ -216,8 +264,21 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
   stats_.warm_units_adopted += out.metrics.warm_units_adopted;
   stats_.totals.Merge(out.metrics);
   stats_.resolve_latency_ms.Record(latency_ms);
+  stats_.unassigned_units += static_cast<std::uint64_t>(out.unassigned_units);
   for (const MatchPair& pair : out.matching.pairs) {
     stats_.units_matched += static_cast<std::uint64_t>(pair.units);
+  }
+  if (degraded) {
+    // Retained state is deliberately untouched: duals_ and last_flow_
+    // still describe the last *optimal* solve, so the next Resolve
+    // warm-starts from certified ground, not from the greedy stop-gap
+    // (whose flow is feasible but not min-cost for its value — adopting
+    // it would violate the successive-shortest-path precondition). Only
+    // the NN floors are refreshed, because RebuildIndexesIfStale may have
+    // just rebuilt the grid they must stay aligned with.
+    out.degraded = true;
+    if (nn_grid_) nn_floors_ = std::make_unique<CellTauTable>(*nn_grid_, duals_.tau_p);
+    return out;
   }
   if (warm) VerifyAgainstCold(cfg, out.cost);
   duals_ = std::move(res.potentials);
@@ -235,8 +296,64 @@ AssignmentEngine::ResolveOutcome AssignmentEngine::Resolve() {
   return out;
 }
 
+// Assembles the deadline-degraded outcome: the last-known-good matching
+// remapped through the churn (departed endpoints drop, surviving pairs are
+// clamped to current capacity and demand), then a greedy nearest-residual
+// patch for whatever demand is left. The scan is O(|unserved| * |Q|) —
+// acceptable on a path taken only when the optimal solve already blew its
+// budget, and always strictly bounded (no augmentation loops). Whatever
+// the patch cannot place lands in the unassigned ledger.
+void AssignmentEngine::BuildDegradedOutcome(ResolveOutcome* out) const {
+  std::vector<std::int64_t> cap(problem_.providers.size());
+  for (std::size_t q = 0; q < cap.size(); ++q) cap[q] = problem_.providers[q].capacity;
+  std::vector<std::int64_t> need(problem_.customers.size());
+  for (std::size_t p = 0; p < need.size(); ++p) need[p] = problem_.weight(p);
+  for (const FlowRec& rec : last_flow_) {
+    const auto qi = provider_index_.find(rec.provider);
+    if (qi == provider_index_.end()) continue;
+    const auto pi = customer_index_.find(rec.customer);
+    if (pi == customer_index_.end()) continue;
+    const std::size_t q = qi->second;
+    const std::size_t p = pi->second;
+    const std::int64_t units =
+        std::min<std::int64_t>(rec.units, std::min(cap[q], need[p]));
+    if (units <= 0) continue;
+    out->matching.Add(static_cast<std::int32_t>(q), static_cast<std::int32_t>(p),
+                      static_cast<std::int32_t>(units),
+                      Distance(problem_.providers[q].pos, problem_.customers[p]));
+    cap[q] -= units;
+    need[p] -= units;
+  }
+  for (std::size_t p = 0; p < need.size(); ++p) {
+    while (need[p] > 0) {
+      std::size_t best_q = cap.size();
+      double best_dist = kInf;
+      for (std::size_t q = 0; q < cap.size(); ++q) {
+        if (cap[q] <= 0) continue;
+        const double d = Distance(problem_.providers[q].pos, problem_.customers[p]);
+        if (d < best_dist) {
+          best_dist = d;
+          best_q = q;
+        }
+      }
+      if (best_q == cap.size()) break;  // capacity exhausted
+      const std::int64_t units = std::min(need[p], cap[best_q]);
+      out->matching.Add(static_cast<std::int32_t>(best_q), static_cast<std::int32_t>(p),
+                        static_cast<std::int32_t>(units), best_dist);
+      cap[best_q] -= units;
+      need[p] -= units;
+    }
+    if (need[p] > 0) {
+      out->unassigned.push_back(
+          UnassignedUnit{static_cast<std::int32_t>(p), need[p]});
+      out->unassigned_units += need[p];
+    }
+  }
+  out->cost = out->matching.cost();
+}
+
 std::string AssignmentEngine::Stats::ToJson() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"resolves\": %llu, \"warm_resolves\": %llu, "
@@ -244,6 +361,8 @@ std::string AssignmentEngine::Stats::ToJson() const {
       "\"providers_inserted\": %llu, \"providers_removed\": %llu, "
       "\"units_matched\": %llu, \"warm_units_adopted\": %llu, "
       "\"warm_adoption_ratio\": %.6f, "
+      "\"deadline_breaches\": %llu, \"degraded_resolves\": %llu, "
+      "\"unassigned_units\": %llu, "
       "\"dijkstra_pops\": %llu, \"dijkstra_relaxes\": %llu, "
       "\"augmentations\": %llu, \"faults\": %llu, "
       "\"resolve_ms\": {\"count\": %llu, \"mean\": %.6f, \"p50\": %.6f, "
@@ -256,6 +375,9 @@ std::string AssignmentEngine::Stats::ToJson() const {
       static_cast<unsigned long long>(providers_removed),
       static_cast<unsigned long long>(units_matched),
       static_cast<unsigned long long>(warm_units_adopted), warm_adoption_ratio(),
+      static_cast<unsigned long long>(deadline_breaches),
+      static_cast<unsigned long long>(degraded_resolves),
+      static_cast<unsigned long long>(unassigned_units),
       static_cast<unsigned long long>(totals.dijkstra_pops),
       static_cast<unsigned long long>(totals.dijkstra_relaxes),
       static_cast<unsigned long long>(totals.augmentations),

@@ -53,6 +53,7 @@
 
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/status.h"
 #include "core/matching.h"
 #include "core/problem.h"
 #include "flow/sspa.h"
@@ -78,6 +79,17 @@ class AssignmentEngine {
     // Re-solve cold after every warm Resolve and abort on a cost mismatch
     // even in release builds (Debug builds always run this cross-check).
     bool verify_cold = false;
+    // Wall-clock budget for one Resolve, in milliseconds; <= 0 disables.
+    // The budget covers the whole serving path (index rebuild + warm-start
+    // assembly + solve): whatever remains after the pre-solve work is
+    // handed to the solver as its cooperative deadline. On a breach the
+    // engine never crashes or stalls — it degrades to the last-known-good
+    // matching remapped through the churn plus a greedy nearest-residual
+    // patch for unserved demand, reports it with ResolveOutcome::degraded
+    // set (plus the exact unassigned ledger), and leaves the retained
+    // duals and adoption flow untouched so the next Resolve warm-starts
+    // from the last *optimal* solution, not the degraded stop-gap.
+    double resolve_deadline_ms = 0.0;
   };
 
   AssignmentEngine() : AssignmentEngine(Options{}) {}
@@ -85,19 +97,33 @@ class AssignmentEngine {
 
   // Population edits. Weight/capacity follow Problem's semantics (weight 1
   // = unit customer; the weights array stays empty until a non-unit weight
-  // appears, keeping the solver on its unit fast path). Removals return
-  // false for unknown ids.
-  Id InsertCustomer(const Point& pos, std::int32_t weight = 1);
-  Id InsertProvider(const Point& pos, std::int32_t capacity);
+  // appears, keeping the solver on its unit fast path). Invalid input —
+  // non-finite coordinates, weight < 1, capacity < 1 — is rejected with
+  // kInvalidArgument and leaves the engine untouched (the Status contract
+  // in src/core/README.md; these were Debug-only asserts before). Removals
+  // return false for unknown ids.
+  StatusOr<Id> InsertCustomer(const Point& pos, std::int32_t weight = 1);
+  StatusOr<Id> InsertProvider(const Point& pos, std::int32_t capacity);
   bool RemoveCustomer(Id id);
   bool RemoveProvider(Id id);
 
   struct ResolveOutcome {
     double cost = 0.0;
     bool warm = false;  // previous duals seeded this solve
+    // The resolve deadline fired: `matching` is the last-known-good
+    // matching remapped through the churn plus a greedy patch — valid and
+    // capacity-respecting, but not certified optimal. Never set when
+    // resolve_deadline_ms is disabled.
+    bool degraded = false;
     // Pairs index the engine's dense arrays as of this Resolve; map back
     // to stable handles via customer_id() / provider_id().
     Matching matching;
+    // Demand no provider serves, by customer index (same space as the
+    // matching): overflow on an infeasible snapshot (total demand > total
+    // capacity) and/or demand a degraded resolve could not patch. Empty
+    // exactly when every customer is served in full.
+    std::vector<UnassignedUnit> unassigned;
+    std::int64_t unassigned_units = 0;
     Metrics metrics;
   };
   // Solves the current snapshot (warm-started when a previous solution
@@ -123,6 +149,14 @@ class AssignmentEngine {
     // ratio, the cumulative totals across all resolves.
     std::uint64_t units_matched = 0;
     std::uint64_t warm_units_adopted = 0;
+    // Failure-model ledger (src/runtime/README.md "Failure model"):
+    // resolves whose deadline fired, resolves that served a degraded
+    // matching (currently identical — every breach degrades), and the
+    // cumulative units reported unassigned across all resolves (nonzero
+    // only on infeasible snapshots or degraded resolves).
+    std::uint64_t deadline_breaches = 0;
+    std::uint64_t degraded_resolves = 0;
+    std::uint64_t unassigned_units = 0;
     // Solver counters merged across every Resolve (same ledger the batch
     // benches gate on, so regressions surface on the serving path too).
     Metrics totals;
@@ -159,6 +193,7 @@ class AssignmentEngine {
   double WarmProviderDual(const Point& pos) const;
   void RebuildIndexesIfStale();
   void VerifyAgainstCold(const SspaConfig& warm_config, double warm_cost);
+  void BuildDegradedOutcome(ResolveOutcome* out) const;
 
   Options options_;
   Problem problem_;

@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/trace.h"
 
@@ -28,33 +30,66 @@ BufferPool::Frame* BufferPool::Install(PageId id) {
   return &lru_.front();
 }
 
-bool BufferPool::ReadPage(PageId id, std::uint8_t* out) {
+Status BufferPool::ReadWithRetry(PageId id, std::uint8_t* out) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxReadRetries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.read_retries;
+      // Exponential backoff, capped. The sleep is microseconds-scale: real
+      // enough to be a backoff, cheap enough for the chaos suite to hammer.
+      std::this_thread::sleep_for(std::chrono::microseconds(1u << (attempt < 6 ? attempt : 6)));
+    }
+    status = file_->Read(id, out);
+    if (status.ok()) return status;
+    switch (status.code()) {
+      case StatusCode::kUnavailable:
+        ++stats_.read_failures;
+        break;  // transient: retry
+      case StatusCode::kDataLoss:
+        ++stats_.checksum_failures;
+        break;  // torn copy, store intact: retry
+      default:
+        return status;  // kOutOfRange etc. cannot heal
+    }
+  }
+  return status;
+}
+
+Status BufferPool::ReadPage(PageId id, std::uint8_t* out, bool* faulted) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.logical_reads;
   if (Frame* f = Touch(id)) {
     ++stats_.hits;
     std::memcpy(out, f->data.data(), file_->page_size());
-    return false;
+    if (faulted != nullptr) *faulted = false;
+    return OkStatus();
   }
   ++stats_.faults;
+  if (faulted != nullptr) *faulted = true;
   CCA_TRACE_SPAN_VAR(fault_span, "storage.page_fault");
   fault_span.Arg("page", static_cast<std::uint64_t>(id));
   if (Frame* f = Install(id)) {
-    file_->Read(id, f->data.data());
+    const Status status = ReadWithRetry(id, f->data.data());
+    if (!status.ok()) {
+      // Do not cache a frame whose bytes were never valid.
+      map_.erase(f->id);
+      lru_.pop_front();
+      return status;
+    }
     std::memcpy(out, f->data.data(), file_->page_size());
-  } else {
-    file_->Read(id, out);
+    return status;
   }
-  return true;
+  return ReadWithRetry(id, out);
 }
 
-void BufferPool::WritePage(PageId id, const std::uint8_t* data) {
+Status BufferPool::WritePage(PageId id, const std::uint8_t* data) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.writes;
-  file_->Write(id, data);
+  CCA_RETURN_IF_ERROR(file_->Write(id, data));
   if (Frame* f = Touch(id)) {
     std::memcpy(f->data.data(), data, file_->page_size());
   }
+  return OkStatus();
 }
 
 void BufferPool::SetCapacity(std::uint32_t capacity_pages) {

@@ -6,6 +6,17 @@
 // write-through: node writes go straight to the PageFile and update the
 // cached copy, so reads after writes always observe fresh data.
 //
+// Failure model: the pool is the retry boundary. A physical read that
+// fails transiently (kUnavailable) or comes back torn (kDataLoss, caught
+// by the per-page CRC32 in PageFile) is retried up to kMaxReadRetries
+// times with exponential backoff; both fault flavors leave the backing
+// store intact, so a retry within budget always recovers and the caller
+// sees an OK read with unchanged bytes. Only after the budget is exhausted
+// does the last error surface to the caller. kOutOfRange is never retried
+// (it cannot heal). Recovery work is visible in Stats::read_retries /
+// read_failures / checksum_failures so the chaos suite can reconcile every
+// injected fault.
+//
 // Thread safety: every public method is serialized on an internal mutex,
 // so concurrent readers (the runtime's per-query R-tree cursors) share one
 // pool — and one LRU state — safely. The PageFile underneath is only ever
@@ -25,17 +36,29 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/page_file.h"
 
 namespace cca {
 
 class BufferPool {
  public:
+  // Retry budget for one logical read. FaultInjectorConfig::
+  // max_consecutive_faults must stay strictly below this or recovery is no
+  // longer guaranteed (fault_injector.h).
+  static constexpr int kMaxReadRetries = 8;
+
   struct Stats {
     std::uint64_t logical_reads = 0;  // every ReadPage call
     std::uint64_t hits = 0;           // served from the buffer
     std::uint64_t faults = 0;         // required a physical read
     std::uint64_t writes = 0;         // WritePage calls (write-through)
+    // Recovery accounting (0 unless faults are injected or a real backend
+    // misbehaves): physical read attempts beyond the first per logical
+    // read, transient failures observed, CRC32 mismatches observed.
+    std::uint64_t read_retries = 0;
+    std::uint64_t read_failures = 0;
+    std::uint64_t checksum_failures = 0;
 
     double hit_ratio() const {
       return logical_reads == 0 ? 0.0
@@ -49,16 +72,18 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Reads a page through the cache into `out` (page_size bytes). Returns
-  // true when the read faulted (missed the buffer and hit the PageFile) —
-  // the per-call fault verdict callers need to attribute I/O to the query
-  // that caused it (RTree::ReadNode feeds it into the thread-local
-  // ScopedIoTally chain; the aggregate stats() count stays monotone
-  // either way).
-  bool ReadPage(PageId id, std::uint8_t* out);
+  // Reads a page through the cache into `out` (page_size bytes). When
+  // `faulted` is non-null it is set to true iff the read missed the buffer
+  // and hit the PageFile — the per-call fault verdict callers need to
+  // attribute I/O to the query that caused it (RTree::ReadNode feeds it
+  // into the thread-local ScopedIoTally chain; the aggregate stats() count
+  // stays monotone either way). Transient failures and torn pages are
+  // retried internally (see the failure-model comment above); the returned
+  // Status is non-OK only for kOutOfRange or an exhausted retry budget.
+  Status ReadPage(PageId id, std::uint8_t* out, bool* faulted = nullptr);
 
-  // Write-through page update.
-  void WritePage(PageId id, const std::uint8_t* data);
+  // Write-through page update. kOutOfRange when id was never allocated.
+  Status WritePage(PageId id, const std::uint8_t* data);
 
   // Resizes the pool, evicting LRU pages if shrinking.
   void SetCapacity(std::uint32_t capacity_pages);
@@ -86,6 +111,9 @@ class BufferPool {
   // Inserts a frame for `id`, evicting the LRU frame when full. Callers
   // hold mu_.
   Frame* Install(PageId id);
+  // One physical read with the bounded retry-with-backoff loop. Callers
+  // hold mu_.
+  Status ReadWithRetry(PageId id, std::uint8_t* out);
 
   PageFile* file_;
   std::uint32_t capacity_;

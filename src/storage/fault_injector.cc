@@ -1,0 +1,43 @@
+#include "storage/fault_injector.h"
+
+namespace cca {
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+FaultInjector::Verdict FaultInjector::NextReadVerdict() {
+  ++ledger_.reads_seen;
+  // The cap comes first so a capped read consumes no randomness beyond the
+  // verdict draw it never makes -- keeping the schedule a pure function of
+  // the read index even across cap boundaries.
+  if (consecutive_faults_ >= config_.max_consecutive_faults) {
+    consecutive_faults_ = 0;
+    return Verdict::kNone;
+  }
+  const double draw = rng_.NextDouble();
+  if (draw < config_.read_failure_rate) {
+    ++consecutive_faults_;
+    ++ledger_.read_failures;
+    return Verdict::kReadFailure;
+  }
+  if (draw < config_.read_failure_rate + config_.corruption_rate) {
+    ++consecutive_faults_;
+    ++ledger_.corruptions;
+    return Verdict::kCorruption;
+  }
+  consecutive_faults_ = 0;
+  return Verdict::kNone;
+}
+
+std::uint32_t FaultInjector::NextCorruptionOffset() {
+  return static_cast<std::uint32_t>(rng_.Next() & 0xFFFFFFFFu);
+}
+
+std::uint8_t FaultInjector::NextCorruptionMask() {
+  // A zero mask would be a no-op "corruption" the CRC could not see and the
+  // ledger could never reconcile; force at least one flipped bit.
+  const auto mask = static_cast<std::uint8_t>(rng_.Next() & 0xFFu);
+  return mask == 0 ? std::uint8_t{0x01} : mask;
+}
+
+}  // namespace cca

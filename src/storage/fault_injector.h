@@ -1,0 +1,82 @@
+// Deterministic seeded fault injection for the storage layer.
+//
+// The chaos suite (tests/test_fault_chaos.cc) needs storage failures that
+// are (a) reproducible from a single seed, (b) frequent enough to exercise
+// every recovery path, and (c) *guaranteed recoverable*, so a faulted run
+// can be asserted bit-identical to a fault-free twin. `FaultInjector`
+// delivers all three:
+//
+//   * One xoshiro draw per PageFile::Read decides the verdict; the whole
+//     fault schedule is a pure function of the seed and the read sequence.
+//   * Two fault flavors, both injected on the READ path only, so the
+//     backing page array always stays intact and a retry always recovers:
+//       - kReadFailure: the read returns kUnavailable without touching the
+//         output buffer (a transient I/O error).
+//       - kCorruption: the read returns a torn copy -- a deterministic
+//         byte-flip in the output buffer. The per-page CRC32 sidecar
+//         (storage/checksum.h) catches it and the read returns kDataLoss.
+//   * `max_consecutive_faults` hard-caps runs of bad verdicts below the
+//     BufferPool retry budget (kMaxReadRetries), making recovery a
+//     guarantee rather than a probability.
+//
+// The ledger counts every injected fault so tests can reconcile it exactly
+// against BufferPool::Stats (read_failures + checksum_failures).
+//
+// Thread safety: none of its own. PageFile only consults the injector
+// while BufferPool holds its mutex (the documented storage locking
+// contract, see buffer_pool.h), which also keeps the verdict sequence --
+// and therefore the whole chaos run -- deterministic under one thread.
+#ifndef CCA_STORAGE_FAULT_INJECTOR_H_
+#define CCA_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace cca {
+
+struct FaultInjectorConfig {
+  // Probability that a physical page read fails transiently (kUnavailable).
+  double read_failure_rate = 0.0;
+  // Probability that a physical page read returns a torn (corrupted) copy.
+  double corruption_rate = 0.0;
+  // Hard cap on consecutive faulty verdicts. Must stay strictly below
+  // BufferPool::kMaxReadRetries or recovery is no longer guaranteed.
+  int max_consecutive_faults = 3;
+  std::uint64_t seed = 1;
+};
+
+class FaultInjector {
+ public:
+  enum class Verdict { kNone, kReadFailure, kCorruption };
+
+  struct Ledger {
+    std::uint64_t reads_seen = 0;         // verdicts issued
+    std::uint64_t read_failures = 0;      // kReadFailure verdicts
+    std::uint64_t corruptions = 0;        // kCorruption verdicts
+  };
+
+  explicit FaultInjector(const FaultInjectorConfig& config);
+
+  // Issues the verdict for the next physical read and advances the
+  // deterministic schedule.
+  Verdict NextReadVerdict();
+
+  // Deterministic corruption site for a kCorruption verdict: byte offset
+  // (caller clamps modulo page size) and a non-zero XOR mask, drawn from
+  // the same seeded stream.
+  std::uint32_t NextCorruptionOffset();
+  std::uint8_t NextCorruptionMask();
+
+  const Ledger& ledger() const { return ledger_; }
+
+ private:
+  FaultInjectorConfig config_;
+  Rng rng_;
+  int consecutive_faults_ = 0;
+  Ledger ledger_;
+};
+
+}  // namespace cca
+
+#endif  // CCA_STORAGE_FAULT_INJECTOR_H_

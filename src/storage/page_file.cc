@@ -1,24 +1,52 @@
 #include "storage/page_file.h"
 
-#include <cassert>
+#include <string>
+
+#include "storage/checksum.h"
+#include "storage/fault_injector.h"
 
 namespace cca {
 
+namespace {
+Status PageOutOfRange(const char* op, PageId id, std::uint32_t count) {
+  return OutOfRangeError(std::string(op) + ": page id " + std::to_string(id) +
+                         " >= page count " + std::to_string(count));
+}
+}  // namespace
+
 PageId PageFile::Allocate() {
   pages_.emplace_back(page_size_, std::uint8_t{0});
+  checksums_.push_back(Crc32(pages_.back().data(), page_size_));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void PageFile::Read(PageId id, std::uint8_t* out) {
-  assert(id < pages_.size());
+Status PageFile::Read(PageId id, std::uint8_t* out) {
+  if (id >= pages_.size()) return PageOutOfRange("PageFile::Read", id, page_count());
   ++physical_reads_;
+  FaultInjector::Verdict verdict = FaultInjector::Verdict::kNone;
+  if (fault_injector_ != nullptr) verdict = fault_injector_->NextReadVerdict();
+  if (verdict == FaultInjector::Verdict::kReadFailure) {
+    return UnavailableError("PageFile::Read: injected transient read failure on page " +
+                            std::to_string(id));
+  }
   std::memcpy(out, pages_[id].data(), page_size_);
+  if (verdict == FaultInjector::Verdict::kCorruption) {
+    const std::uint32_t offset = fault_injector_->NextCorruptionOffset() % page_size_;
+    out[offset] = static_cast<std::uint8_t>(out[offset] ^ fault_injector_->NextCorruptionMask());
+  }
+  if (Crc32(out, page_size_) != checksums_[id]) {
+    return DataLossError("PageFile::Read: CRC32 mismatch (torn page) on page " +
+                         std::to_string(id));
+  }
+  return OkStatus();
 }
 
-void PageFile::Write(PageId id, const std::uint8_t* data) {
-  assert(id < pages_.size());
+Status PageFile::Write(PageId id, const std::uint8_t* data) {
+  if (id >= pages_.size()) return PageOutOfRange("PageFile::Write", id, page_count());
   ++physical_writes_;
   std::memcpy(pages_[id].data(), data, page_size_);
+  checksums_[id] = Crc32(data, page_size_);
+  return OkStatus();
 }
 
 }  // namespace cca

@@ -5,6 +5,22 @@
 // and fault accounting happens in `BufferPool`. The store is memory-backed:
 // the experiments model I/O analytically (like the paper does), so a real
 // file descriptor would only add noise.
+//
+// Failure model (see src/runtime/README.md "Failure model"):
+//   * Read/Write return Status. Out-of-range page ids are ALWAYS-ON
+//     kOutOfRange errors -- they used to be debug-only asserts, i.e.
+//     silent out-of-bounds UB in Release.
+//   * Every page carries a sidecar CRC32 (storage/checksum.h), recomputed
+//     on Write and verified on Read; a mismatch (torn page) returns
+//     kDataLoss with the backing store intact, so a retry recovers.
+//   * An attached FaultInjector (storage/fault_injector.h) can make a read
+//     fail transiently (kUnavailable) or return a corrupted copy that the
+//     CRC check catches. Both fault flavors touch only the returned copy,
+//     never the stored bytes.
+//
+// Locking: PageFile has none of its own. It is only touched under the
+// owning BufferPool's mutex (reads on a miss, write-through updates);
+// Allocate stays a build-time, single-threaded operation.
 #ifndef CCA_STORAGE_PAGE_FILE_H_
 #define CCA_STORAGE_PAGE_FILE_H_
 
@@ -12,7 +28,11 @@
 #include <cstring>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cca {
+
+class FaultInjector;
 
 using PageId = std::uint32_t;
 
@@ -36,12 +56,23 @@ class PageFile {
   PageId Allocate();
 
   // Copies a full page into `out` (must hold page_size() bytes).
-  void Read(PageId id, std::uint8_t* out);
+  // kOutOfRange: id is not an allocated page (out untouched).
+  // kUnavailable: injected transient read failure (out untouched).
+  // kDataLoss: the copy failed CRC32 verification (torn page); the
+  //   backing store is intact, retry recovers.
+  Status Read(PageId id, std::uint8_t* out);
 
-  // Overwrites a full page from `data` (page_size() bytes).
-  void Write(PageId id, const std::uint8_t* data);
+  // Overwrites a full page from `data` (page_size() bytes) and refreshes
+  // its sidecar CRC32. kOutOfRange when id is not an allocated page.
+  Status Write(PageId id, const std::uint8_t* data);
 
-  // Physical access counters (every call, regardless of caching above).
+  // Attaches (or detaches, with nullptr) a fault injector consulted on
+  // every Read. Setup-time operation; the injector is polled under the
+  // owning BufferPool's mutex.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+
+  // Physical access counters (every call, regardless of caching above;
+  // failed/corrupted read attempts count -- they are attempted I/O).
   std::uint64_t physical_reads() const { return physical_reads_; }
   std::uint64_t physical_writes() const { return physical_writes_; }
   void ResetStats() { physical_reads_ = physical_writes_ = 0; }
@@ -49,6 +80,8 @@ class PageFile {
  private:
   std::uint32_t page_size_;
   std::vector<std::vector<std::uint8_t>> pages_;
+  std::vector<std::uint32_t> checksums_;  // sidecar CRC32 per page
+  FaultInjector* fault_injector_ = nullptr;
   std::uint64_t physical_reads_ = 0;
   std::uint64_t physical_writes_ = 0;
 };

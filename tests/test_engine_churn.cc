@@ -84,12 +84,12 @@ void RunChurn(const ChurnSpec& spec) {
   auto insert_customer = [&] {
     const Point& pos = customer_pool[next_customer++ % customer_pool.size()];
     const auto w = spec.weighted ? static_cast<std::int32_t>(rng.UniformInt(1, 3)) : 1;
-    customers.push_back(engine.InsertCustomer(pos, w));
+    customers.push_back(engine.InsertCustomer(pos, w).value());
   };
   auto insert_provider = [&] {
     const Point& pos = provider_pool[next_provider++ % provider_pool.size()];
     providers.push_back(
-        engine.InsertProvider(pos, static_cast<std::int32_t>(rng.UniformInt(2, 6))));
+        engine.InsertProvider(pos, static_cast<std::int32_t>(rng.UniformInt(2, 6))).value());
   };
 
   for (int i = 0; i < 6; ++i) insert_provider();
@@ -164,7 +164,7 @@ TEST(EngineChurn, VerifyColdOptionAgrees) {
   for (int q = 0; q < 4; ++q) {
     engine.InsertProvider(pts[static_cast<std::size_t>(q)], 8);
   }
-  for (std::size_t p = 4; p < pts.size(); ++p) ids.push_back(engine.InsertCustomer(pts[p]));
+  for (std::size_t p = 4; p < pts.size(); ++p) ids.push_back(engine.InsertCustomer(pts[p]).value());
   engine.Resolve();
   for (int round = 0; round < 5; ++round) {
     for (int j = 0; j < 3; ++j) {
@@ -174,16 +174,177 @@ TEST(EngineChurn, VerifyColdOptionAgrees) {
       ids.pop_back();
     }
     ids.push_back(engine.InsertCustomer(
-        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}));
+        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}).value());
     const auto out = engine.Resolve();
     EXPECT_TRUE(out.warm);
   }
 }
 
+// Asserts the outcome's unassigned ledger is the exact per-customer
+// complement of its matching and sums to max(0, demand - capacity).
+void ExpectExactLedger(const AssignmentEngine& engine,
+                       const AssignmentEngine::ResolveOutcome& out) {
+  const Problem& problem = engine.problem();
+  std::int64_t total_weight = 0, total_capacity = 0;
+  for (std::size_t p = 0; p < problem.customers.size(); ++p) total_weight += problem.weight(p);
+  for (const Provider& q : problem.providers) total_capacity += q.capacity;
+  const std::int64_t overflow = std::max<std::int64_t>(0, total_weight - total_capacity);
+  EXPECT_EQ(out.unassigned_units, overflow);
+  const auto loads = out.matching.CustomerLoads(problem.customers.size());
+  std::int64_t ledger_sum = 0;
+  for (const UnassignedUnit& u : out.unassigned) {
+    ASSERT_GE(u.customer, 0);
+    ASSERT_LT(static_cast<std::size_t>(u.customer), problem.customers.size());
+    EXPECT_GT(u.units, 0);
+    EXPECT_EQ(loads[static_cast<std::size_t>(u.customer)] + u.units,
+              problem.weight(static_cast<std::size_t>(u.customer)))
+        << "customer " << u.customer;
+    ledger_sum += u.units;
+  }
+  EXPECT_EQ(ledger_sum, overflow);
+}
+
+TEST(EngineChurn, CapacityExhaustionPhasesCrossFeasibilityBoundary) {
+  // Drives the engine across the feasibility boundary in both directions:
+  // feasible -> infeasible (customer arrivals exhaust capacity) ->
+  // feasible again (departures free it). Every Resolve must stay
+  // warm/cold cost-identical — the virtual overflow provider's capacity
+  // equals the overflow exactly, so the real sub-matching is the min-cost
+  // partial optimum on both sides — and the unassigned ledger must be the
+  // exact complement of the matching in every phase.
+  AssignmentEngine engine;
+  Rng rng(271);
+  const auto q_pts = test::RandomPoints(4, 61);
+  const auto p_pts = test::RandomPoints(64, 62);
+  for (const auto& q : q_pts) engine.InsertProvider(q, 5);  // capacity 20
+  std::vector<AssignmentEngine::Id> ids;
+  std::size_t next = 0;
+  Metrics totals;
+  int warm_resolves = 0;
+
+  // Phase 1: feasible (12 < 20). Nothing unassigned.
+  for (int i = 0; i < 12; ++i) ids.push_back(engine.InsertCustomer(p_pts[next++]).value());
+  ExpectResolveMatchesCold(&engine, SspaConfig{}, &totals, &warm_resolves);
+  {
+    const auto out = engine.Resolve();
+    EXPECT_FALSE(out.degraded);
+    EXPECT_TRUE(out.unassigned.empty());
+    ExpectExactLedger(engine, out);
+  }
+
+  // Phase 2: infeasible (22 > 20), deepening across several resolves.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) ids.push_back(engine.InsertCustomer(p_pts[next++]).value());
+    ExpectResolveMatchesCold(&engine, SspaConfig{}, &totals, &warm_resolves);
+    if (::testing::Test::HasFatalFailure()) return;
+    const auto out = engine.Resolve();
+    EXPECT_FALSE(out.degraded);
+    EXPECT_FALSE(out.unassigned.empty());
+    ExpectExactLedger(engine, out);
+  }
+
+  // Phase 3: back to feasible; the ledger empties again and the warm
+  // start (seeded across the boundary) still matches cold.
+  while (ids.size() > 15) {
+    const std::size_t i = rng.NextBelow(ids.size());
+    ASSERT_TRUE(engine.RemoveCustomer(ids[i]));
+    ids[i] = ids.back();
+    ids.pop_back();
+  }
+  ExpectResolveMatchesCold(&engine, SspaConfig{}, &totals, &warm_resolves);
+  {
+    const auto out = engine.Resolve();
+    EXPECT_FALSE(out.degraded);
+    EXPECT_TRUE(out.unassigned.empty());
+    ExpectExactLedger(engine, out);
+  }
+  EXPECT_GT(warm_resolves, 0);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.deadline_breaches, 0u);
+  EXPECT_EQ(stats.degraded_resolves, 0u);
+  EXPECT_GT(stats.unassigned_units, 0u);  // the infeasible phase was real
+}
+
+TEST(EngineChurn, DeadlineBreachDegradesWithoutCrashing) {
+  // An unmeetable Resolve budget must never crash or stall: every Resolve
+  // comes back degraded with a valid capacity-respecting matching (the
+  // greedy patch still places exactly gamma units, so ValidateMatching
+  // holds) and an exact ledger, and the engine keeps serving across
+  // further churn.
+  AssignmentEngine::Options options;
+  options.resolve_deadline_ms = 1e-7;  // breaches before the solver starts
+  AssignmentEngine engine(options);
+  const auto q_pts = test::RandomPoints(5, 71);
+  const auto p_pts = test::RandomPoints(40, 72);
+  for (const auto& q : q_pts) engine.InsertProvider(q, 4);
+  std::vector<AssignmentEngine::Id> ids;
+  for (const auto& p : p_pts) ids.push_back(engine.InsertCustomer(p).value());
+
+  for (int round = 0; round < 3; ++round) {
+    const auto out = engine.Resolve();
+    EXPECT_TRUE(out.degraded);
+    std::string error;
+    EXPECT_TRUE(ValidateMatching(engine.problem(), out.matching, &error)) << error;
+    ExpectExactLedger(engine, out);
+    ASSERT_TRUE(engine.RemoveCustomer(ids.back()));
+    ids.pop_back();
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.resolves, 3u);
+  EXPECT_EQ(stats.deadline_breaches, 3u);
+  EXPECT_EQ(stats.degraded_resolves, 3u);
+
+  // A generous budget on the same workload never degrades and produces
+  // the true optimum (the deadline path is strictly opt-in).
+  AssignmentEngine::Options relaxed;
+  relaxed.resolve_deadline_ms = 60'000.0;
+  AssignmentEngine reference(relaxed);
+  for (const auto& q : q_pts) reference.InsertProvider(q, 4);
+  for (std::size_t p = 0; p + 3 < p_pts.size(); ++p) reference.InsertCustomer(p_pts[p]);
+  const auto out = reference.Resolve();
+  EXPECT_FALSE(out.degraded);
+  const SspaResult cold = SolveSspa(reference.problem(), SspaConfig{});
+  EXPECT_NEAR(out.cost, cold.matching.cost(), 1e-9 * std::max(1.0, cold.matching.cost()));
+  EXPECT_EQ(reference.stats().deadline_breaches, 0u);
+}
+
+TEST(EngineChurn, InsertValidationRejectsBadInputAndMutatesNothing) {
+  // Boundary validation (the Status contract): non-finite coordinates and
+  // non-positive weight/capacity come back kInvalidArgument and leave the
+  // engine untouched — the next valid edit and Resolve see clean state.
+  AssignmentEngine engine;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(engine.InsertCustomer(Point{nan, 0.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.InsertCustomer(Point{0.0, inf}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.InsertCustomer(Point{1.0, 1.0}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.InsertCustomer(Point{1.0, 1.0}, -3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.InsertProvider(Point{-inf, 0.0}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.InsertProvider(Point{1.0, 1.0}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.num_customers(), 0u);
+  EXPECT_EQ(engine.num_providers(), 0u);
+  EXPECT_EQ(engine.stats().customers_inserted, 0u);
+  EXPECT_EQ(engine.stats().providers_inserted, 0u);
+
+  const auto c = engine.InsertCustomer(Point{1.0, 2.0});
+  ASSERT_TRUE(c.ok());
+  const auto q = engine.InsertProvider(Point{3.0, 4.0}, 2);
+  ASSERT_TRUE(q.ok());
+  const auto out = engine.Resolve();
+  EXPECT_EQ(out.matching.size(), 1);
+  EXPECT_TRUE(out.unassigned.empty());
+}
+
 TEST(EngineChurn, RemoveUnknownIdReturnsFalse) {
   AssignmentEngine engine;
-  const auto c = engine.InsertCustomer(Point{1.0, 2.0});
-  const auto q = engine.InsertProvider(Point{3.0, 4.0}, 2);
+  const auto c = engine.InsertCustomer(Point{1.0, 2.0}).value();
+  const auto q = engine.InsertProvider(Point{3.0, 4.0}, 2).value();
   EXPECT_FALSE(engine.RemoveCustomer(q));   // provider id is not a customer
   EXPECT_FALSE(engine.RemoveProvider(c));   // and vice versa
   EXPECT_TRUE(engine.RemoveCustomer(c));
@@ -197,7 +358,7 @@ TEST(EngineChurn, StableIdsAcrossSwapRemove) {
   AssignmentEngine engine;
   const auto pts = test::RandomPoints(8, 33);
   std::vector<AssignmentEngine::Id> ids;
-  for (const auto& p : pts) ids.push_back(engine.InsertCustomer(p));
+  for (const auto& p : pts) ids.push_back(engine.InsertCustomer(p).value());
   ASSERT_TRUE(engine.RemoveCustomer(ids[2]));  // back element swaps into slot 2
   // Every surviving id still maps to its original coordinates.
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -227,7 +388,7 @@ TEST(EngineChurn, WarmStartReducesPopsOnSmallPerturbation) {
     engine.InsertProvider(q, static_cast<std::int32_t>(rng.UniformInt(60, 80)));
   }
   std::vector<AssignmentEngine::Id> ids;
-  for (const auto& p : p_pts) ids.push_back(engine.InsertCustomer(p));
+  for (const auto& p : p_pts) ids.push_back(engine.InsertCustomer(p).value());
   engine.Resolve();
 
   for (int j = 0; j < 3; ++j) {
@@ -238,7 +399,7 @@ TEST(EngineChurn, WarmStartReducesPopsOnSmallPerturbation) {
   }
   for (int j = 0; j < 3; ++j) {
     ids.push_back(engine.InsertCustomer(
-        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}));
+        Point{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)}).value());
   }
 
   const auto warm = engine.Resolve();

@@ -127,5 +127,76 @@ TEST(OracleDifferential, SolversMatchHungarianOnRandomInstances) {
   EXPECT_EQ(case_index, 54u);  // 3 distributions x {unit, weighted} x 9 seeds
 }
 
+TEST(OracleDifferential, InfeasibleInstancesMatchHungarianPartialOptimum) {
+  // Infeasible instances (total demand > total capacity). The Hungarian
+  // oracle's transpose orientation assigns every provider slot a customer:
+  // the independent min-cost *partial* optimum of size gamma = total
+  // capacity. Both SSPA flavours must reproduce its cost — the plain
+  // capacity-limited solve directly, and the overflow solve through its
+  // real sub-matching (the virtual slot's capacity equals the overflow
+  // exactly, so every feasible flow saturates the real providers and the
+  // penalty never biases which real pairs win). The overflow solve must
+  // additionally account for every unserved unit in its ledger.
+  std::size_t case_index = 0;
+  for (const Dist dist : {Dist::kUniform, Dist::kClustered, Dist::kSkewed}) {
+    for (const bool weighted : {false, true}) {
+      for (std::uint64_t seed = 101; seed <= 104; ++seed, ++case_index) {
+        Problem problem = MakeInstance(dist, weighted, seed * 13 + case_index);
+        // Clamp every provider to capacity 1-2: at most 8 providers * 2 <
+        // 20+ customers, so every instance is strictly infeasible.
+        Rng rng(seed * 7 + 3);
+        std::int64_t total_capacity = 0;
+        for (auto& q : problem.providers) {
+          q.capacity = static_cast<std::int32_t>(rng.UniformInt(1, 2));
+          total_capacity += q.capacity;
+        }
+        std::int64_t total_weight = 0;
+        for (std::size_t p = 0; p < problem.customers.size(); ++p) {
+          total_weight += problem.weight(p);
+        }
+        ASSERT_LT(total_capacity, total_weight);
+        const std::int64_t overflow = total_weight - total_capacity;
+        const std::string label = std::string(DistName(dist)) +
+                                  (weighted ? " weighted" : " unit") + " seed " +
+                                  std::to_string(seed);
+
+        const HungarianResult oracle = SolveHungarian(UnitExpanded(problem));
+        const double tol = 1e-6 * std::max(1.0, oracle.matching.cost());
+        ASSERT_EQ(oracle.matching.size(), total_capacity) << label;
+
+        SspaConfig cfg;
+        cfg.allow_overflow = true;
+        cfg.use_grid = case_index % 2 == 0;
+        const SspaResult res = SolveSspa(problem, cfg);
+        std::string error;
+        EXPECT_TRUE(ValidateMatching(problem, res.matching, &error)) << label << ": " << error;
+        EXPECT_EQ(res.matching.size(), total_capacity) << label;
+        EXPECT_NEAR(res.matching.cost(), oracle.matching.cost(), tol) << label;
+        // Exact ledger: unassigned units complement the matching per
+        // customer and sum to the overflow.
+        EXPECT_EQ(res.unassigned_units, overflow) << label;
+        std::int64_t ledger_sum = 0;
+        const auto loads = res.matching.CustomerLoads(problem.customers.size());
+        for (const UnassignedUnit& u : res.unassigned) {
+          EXPECT_GT(u.units, 0) << label;
+          EXPECT_EQ(loads[static_cast<std::size_t>(u.customer)] + u.units,
+                    problem.weight(static_cast<std::size_t>(u.customer)))
+              << label << " customer " << u.customer;
+          ledger_sum += u.units;
+        }
+        EXPECT_EQ(ledger_sum, overflow) << label;
+
+        // The plain capacity-limited solve finds the same partial optimum,
+        // and the ledger (computed uniformly as the matching's complement)
+        // accounts for the same overflow.
+        const SspaResult plain = SolveSspa(problem);
+        EXPECT_NEAR(plain.matching.cost(), oracle.matching.cost(), tol) << label;
+        EXPECT_EQ(plain.unassigned_units, overflow) << label;
+      }
+    }
+  }
+  EXPECT_EQ(case_index, 24u);  // 3 distributions x {unit, weighted} x 4 seeds
+}
+
 }  // namespace
 }  // namespace cca

@@ -1,0 +1,92 @@
+// Unit tests for the Status / StatusOr error model (src/common/status.h):
+// the always-on boundary contract the storage layer and the serving engine
+// report rejections through.
+#include "common/status.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cca {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(OkStatus().code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+    const char* name;
+  } cases[] = {
+      {InvalidArgumentError("bad arg"), StatusCode::kInvalidArgument, "INVALID_ARGUMENT"},
+      {OutOfRangeError("past end"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {FailedPreconditionError("not ready"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {UnavailableError("try again"), StatusCode::kUnavailable, "UNAVAILABLE"},
+      {DataLossError("crc mismatch"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {DeadlineExceededError("too slow"), StatusCode::kDeadlineExceeded, "DEADLINE_EXCEEDED"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+    EXPECT_EQ(c.status.ToString().rfind(c.name, 0), 0u) << c.status.ToString();
+    EXPECT_STREQ(StatusCodeName(c.code), c.name);
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesAndFallsThrough) {
+  const auto passthrough = [](Status inner) -> Status {
+    CCA_RETURN_IF_ERROR(inner);
+    return OkStatus();
+  };
+  EXPECT_TRUE(passthrough(OkStatus()).ok());
+  const Status propagated = passthrough(DataLossError("torn page"));
+  EXPECT_EQ(propagated.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(propagated.message(), "torn page");
+}
+
+TEST(StatusOrTest, HoldsValueOnSuccess) {
+  const StatusOr<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.status().ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+
+  StatusOr<std::vector<int>> vec = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->size(), 3u);
+  const std::vector<int> moved = std::move(vec).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, HoldsStatusOnError) {
+  const StatusOr<int> err = InvalidArgumentError("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.status().message(), "nope");
+}
+
+TEST(StatusOrTest, OkStatusWithoutValueIsDowngraded) {
+  // "Success with no payload" must never be dereferenceable.
+  const StatusOr<int> bad = OkStatus();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> err = UnavailableError("injected fault");
+  EXPECT_DEATH(static_cast<void>(err.value()), "injected fault");
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,10 +1,14 @@
-// Paged storage and LRU buffer pool tests.
+// Paged storage and LRU buffer pool tests, including the failure model:
+// always-on bounds checks, per-page CRC32 torn-page detection, and the
+// bounded retry-with-backoff recovery loop under injected faults.
 #include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "storage/buffer_pool.h"
+#include "storage/checksum.h"
+#include "storage/fault_injector.h"
 #include "storage/page_file.h"
 
 namespace cca {
@@ -23,15 +27,74 @@ TEST(PageFileTest, AllocateReadWrite) {
   EXPECT_EQ(file.page_count(), 2u);
 
   const auto data = Filled(256, 0xAB);
-  file.Write(a, data.data());
+  ASSERT_TRUE(file.Write(a, data.data()).ok());
   std::vector<std::uint8_t> out(256);
-  file.Read(a, out.data());
+  ASSERT_TRUE(file.Read(a, out.data()).ok());
   EXPECT_EQ(out, data);
   // Fresh pages read back zeroed.
-  file.Read(b, out.data());
+  ASSERT_TRUE(file.Read(b, out.data()).ok());
   EXPECT_EQ(out, Filled(256, 0));
   EXPECT_EQ(file.physical_reads(), 2u);
   EXPECT_EQ(file.physical_writes(), 1u);
+}
+
+// The debug-only asserts are gone: out-of-range ids are first-class
+// errors in every build type, and the output buffer is never touched.
+TEST(PageFileTest, OutOfRangeIsAlwaysOnError) {
+  PageFile file(64);
+  file.Allocate();
+  std::vector<std::uint8_t> out = Filled(64, 0x77);
+  const Status read = file.Read(5, out.data());
+  EXPECT_EQ(read.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, Filled(64, 0x77));  // untouched on failure
+  const Status write = file.Write(kInvalidPage, out.data());
+  EXPECT_EQ(write.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(file.physical_reads(), 0u);
+  EXPECT_EQ(file.physical_writes(), 0u);
+}
+
+TEST(ChecksumTest, Crc32KnownAnswer) {
+  // CRC-32/IEEE of "123456789" is the standard check value 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(PageFileTest, InjectedTransientFailureReturnsUnavailable) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  FaultInjectorConfig cfg;
+  cfg.read_failure_rate = 1.0;
+  cfg.max_consecutive_faults = 1;
+  FaultInjector injector(cfg);
+  file.set_fault_injector(&injector);
+
+  std::vector<std::uint8_t> out(64);
+  EXPECT_EQ(file.Read(p, out.data()).code(), StatusCode::kUnavailable);
+  // The consecutive-fault cap forces the next read clean.
+  EXPECT_TRUE(file.Read(p, out.data()).ok());
+  EXPECT_EQ(injector.ledger().read_failures, 1u);
+  EXPECT_EQ(injector.ledger().reads_seen, 2u);
+}
+
+TEST(PageFileTest, CorruptionCaughtByChecksum) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  const auto data = Filled(64, 0x3E);
+  ASSERT_TRUE(file.Write(p, data.data()).ok());
+
+  FaultInjectorConfig cfg;
+  cfg.corruption_rate = 1.0;
+  cfg.max_consecutive_faults = 1;
+  FaultInjector injector(cfg);
+  file.set_fault_injector(&injector);
+
+  std::vector<std::uint8_t> out(64);
+  EXPECT_EQ(file.Read(p, out.data()).code(), StatusCode::kDataLoss);
+  // Backing store intact: the capped (clean) retry returns the true bytes.
+  ASSERT_TRUE(file.Read(p, out.data()).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(injector.ledger().corruptions, 1u);
 }
 
 TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
@@ -39,14 +102,26 @@ TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
   const PageId p = file.Allocate();
   BufferPool pool(&file, 4);
   std::vector<std::uint8_t> out(128);
-  pool.ReadPage(p, out.data());
-  pool.ReadPage(p, out.data());
-  pool.ReadPage(p, out.data());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
   EXPECT_EQ(pool.stats().logical_reads, 3u);
   EXPECT_EQ(pool.stats().faults, 1u);
   EXPECT_EQ(pool.stats().hits, 2u);
   EXPECT_EQ(file.physical_reads(), 1u);
   EXPECT_NEAR(pool.stats().hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BufferPoolTest, FaultVerdictOutParam) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+  bool faulted = false;
+  ASSERT_TRUE(pool.ReadPage(p, out.data(), &faulted).ok());
+  EXPECT_TRUE(faulted);
+  ASSERT_TRUE(pool.ReadPage(p, out.data(), &faulted).ok());
+  EXPECT_FALSE(faulted);
 }
 
 TEST(BufferPoolTest, LruEvictionOrder) {
@@ -56,13 +131,13 @@ TEST(BufferPoolTest, LruEvictionOrder) {
   BufferPool pool(&file, 2);
   std::vector<std::uint8_t> out(64);
 
-  pool.ReadPage(pages[0], out.data());  // cache: {0}
-  pool.ReadPage(pages[1], out.data());  // cache: {1, 0}
-  pool.ReadPage(pages[0], out.data());  // hit; cache: {0, 1}
-  pool.ReadPage(pages[2], out.data());  // evicts 1; cache: {2, 0}
-  pool.ReadPage(pages[0], out.data());  // still a hit
+  pool.ReadPage(pages[0], out.data()).IgnoreError();  // cache: {0}
+  pool.ReadPage(pages[1], out.data()).IgnoreError();  // cache: {1, 0}
+  pool.ReadPage(pages[0], out.data()).IgnoreError();  // hit; cache: {0, 1}
+  pool.ReadPage(pages[2], out.data()).IgnoreError();  // evicts 1; cache: {2, 0}
+  pool.ReadPage(pages[0], out.data()).IgnoreError();  // still a hit
   EXPECT_EQ(pool.stats().hits, 2u);
-  pool.ReadPage(pages[1], out.data());  // fault again (was evicted)
+  pool.ReadPage(pages[1], out.data()).IgnoreError();  // fault again (was evicted)
   EXPECT_EQ(pool.stats().faults, 4u);
 }
 
@@ -71,8 +146,8 @@ TEST(BufferPoolTest, ZeroCapacityAlwaysFaults) {
   const PageId p = file.Allocate();
   BufferPool pool(&file, 0);
   std::vector<std::uint8_t> out(64);
-  pool.ReadPage(p, out.data());
-  pool.ReadPage(p, out.data());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
   EXPECT_EQ(pool.stats().faults, 2u);
   EXPECT_EQ(pool.stats().hits, 0u);
 }
@@ -82,11 +157,11 @@ TEST(BufferPoolTest, WriteThroughKeepsCacheCoherent) {
   const PageId p = file.Allocate();
   BufferPool pool(&file, 2);
   std::vector<std::uint8_t> out(64);
-  pool.ReadPage(p, out.data());  // cache the zero page
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());  // cache the zero page
 
   const auto data = Filled(64, 0x5C);
-  pool.WritePage(p, data.data());
-  pool.ReadPage(p, out.data());  // must observe the write, served from cache
+  ASSERT_TRUE(pool.WritePage(p, data.data()).ok());
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());  // must observe the write, from cache
   EXPECT_EQ(out, data);
   EXPECT_EQ(pool.stats().faults, 1u);
   EXPECT_EQ(file.physical_writes(), 1u);
@@ -98,11 +173,11 @@ TEST(BufferPoolTest, ShrinkEvicts) {
   for (int i = 0; i < 4; ++i) pages.push_back(file.Allocate());
   BufferPool pool(&file, 4);
   std::vector<std::uint8_t> out(64);
-  for (const PageId p : pages) pool.ReadPage(p, out.data());
+  for (const PageId p : pages) pool.ReadPage(p, out.data()).IgnoreError();
   pool.SetCapacity(1);
-  pool.ReadPage(pages[3], out.data());  // MRU page should have survived
+  pool.ReadPage(pages[3], out.data()).IgnoreError();  // MRU page should have survived
   EXPECT_EQ(pool.stats().hits, 1u);
-  pool.ReadPage(pages[0], out.data());
+  pool.ReadPage(pages[0], out.data()).IgnoreError();
   EXPECT_EQ(pool.stats().faults, 5u);
 }
 
@@ -111,11 +186,87 @@ TEST(BufferPoolTest, ClearDropsContentKeepsStats) {
   const PageId p = file.Allocate();
   BufferPool pool(&file, 2);
   std::vector<std::uint8_t> out(64);
-  pool.ReadPage(p, out.data());
+  pool.ReadPage(p, out.data()).IgnoreError();
   pool.Clear();
-  pool.ReadPage(p, out.data());
+  pool.ReadPage(p, out.data()).IgnoreError();
   EXPECT_EQ(pool.stats().faults, 2u);
   EXPECT_EQ(pool.stats().logical_reads, 2u);
+}
+
+TEST(BufferPoolTest, OutOfRangeNotRetried) {
+  PageFile file(64);
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+  const Status status = pool.ReadPage(7, out.data());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.stats().read_retries, 0u);
+  // The failed frame must not be cached: a later valid allocation of the
+  // same id has to hit the file, not a zombie frame.
+  EXPECT_EQ(pool.stats().faults, 1u);
+  for (int i = 0; i < 8; ++i) file.Allocate();
+  ASSERT_TRUE(pool.ReadPage(7, out.data()).ok());
+  EXPECT_EQ(file.physical_reads(), 1u);
+}
+
+// The recovery anchor: with the injector's consecutive-fault cap below the
+// pool's retry budget, every logical read succeeds, the bytes are
+// bit-identical to a fault-free read, and the pool's recovery counters
+// reconcile exactly against the injector's ledger.
+TEST(BufferPoolTest, RetryRecoversAndLedgerReconciles) {
+  PageFile file(128);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 16; ++i) pages.push_back(file.Allocate());
+  std::vector<std::uint8_t> expect(128);
+  for (int i = 0; i < 16; ++i) {
+    expect.assign(128, static_cast<std::uint8_t>(i * 17 + 1));
+    ASSERT_TRUE(file.Write(pages[i], expect.data()).ok());
+  }
+
+  FaultInjectorConfig cfg;
+  cfg.read_failure_rate = 0.25;
+  cfg.corruption_rate = 0.25;
+  cfg.max_consecutive_faults = 3;
+  cfg.seed = 42;
+  static_assert(3 < BufferPool::kMaxReadRetries, "recovery guarantee");
+  FaultInjector injector(cfg);
+  file.set_fault_injector(&injector);
+
+  BufferPool pool(&file, 4);  // small: plenty of evictions and re-faults
+  std::vector<std::uint8_t> out(128);
+  for (int round = 0; round < 50; ++round) {
+    const int i = (round * 7) % 16;
+    ASSERT_TRUE(pool.ReadPage(pages[i], out.data()).ok());
+    EXPECT_EQ(out, Filled(128, static_cast<std::uint8_t>(i * 17 + 1)));
+  }
+
+  const BufferPool::Stats stats = pool.stats();
+  const FaultInjector::Ledger& ledger = injector.ledger();
+  EXPECT_GT(ledger.read_failures + ledger.corruptions, 0u);  // faults happened
+  EXPECT_EQ(stats.read_failures, ledger.read_failures);
+  EXPECT_EQ(stats.checksum_failures, ledger.corruptions);
+  EXPECT_EQ(stats.read_retries, ledger.read_failures + ledger.corruptions);
+}
+
+// Exhausting the retry budget (cap above budget, rate 1.0) surfaces the
+// last error instead of looping forever.
+TEST(BufferPoolTest, RetryBudgetExhaustionSurfacesError) {
+  PageFile file(64);
+  const PageId p = file.Allocate();
+  FaultInjectorConfig cfg;
+  cfg.read_failure_rate = 1.0;
+  cfg.max_consecutive_faults = 100;  // deliberately past the budget
+  FaultInjector injector(cfg);
+  file.set_fault_injector(&injector);
+
+  BufferPool pool(&file, 2);
+  std::vector<std::uint8_t> out(64);
+  const Status status = pool.ReadPage(p, out.data());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pool.stats().read_retries,
+            static_cast<std::uint64_t>(BufferPool::kMaxReadRetries - 1));
+  // Recovery after the storm: detach the injector, the page reads clean.
+  file.set_fault_injector(nullptr);
+  ASSERT_TRUE(pool.ReadPage(p, out.data()).ok());
 }
 
 }  // namespace

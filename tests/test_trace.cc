@@ -147,7 +147,7 @@ TEST(EngineStatsTest, SnapshotTracksChurnAndResolves) {
   const std::vector<Point> customers = test::RandomPoints(30, 22);
   std::vector<AssignmentEngine::Id> customer_ids;
   for (const Point& pos : providers) engine.InsertProvider(pos, 10);
-  for (const Point& pos : customers) customer_ids.push_back(engine.InsertCustomer(pos));
+  for (const Point& pos : customers) customer_ids.push_back(engine.InsertCustomer(pos).value());
 
   AssignmentEngine::Stats s = engine.stats();
   EXPECT_EQ(s.providers_inserted, 4u);
@@ -172,7 +172,8 @@ TEST(EngineStatsTest, SnapshotTracksChurnAndResolves) {
     engine.RemoveCustomer(customer_ids.back());
     customer_ids.pop_back();
     customer_ids.push_back(
-        engine.InsertCustomer(test::RandomPoints(1, 100 + static_cast<std::uint64_t>(round))[0]));
+        engine.InsertCustomer(test::RandomPoints(1, 100 + static_cast<std::uint64_t>(round))[0])
+            .value());
     const auto out = engine.Resolve();
     EXPECT_TRUE(out.warm);
     expected_totals.Merge(out.metrics);

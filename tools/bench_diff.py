@@ -65,6 +65,14 @@ COUNTER_KEYS = (
     # Exact solvers run a fixed number of augmentations per instance; any
     # drift is a correctness bug, not a perf trade (bench_engine_qps rows).
     "augmentations",
+    # Failure-model counters (runtime/engine.h Stats). The dispatch bench
+    # sets no deadline and generates feasible instances, so the committed
+    # baseline pins all three at 0 — any nonzero value (a breach, a
+    # degraded resolve, or silently unserved demand) fails the gate
+    # outright since slack over a 0 baseline is still 0.
+    "deadline_breaches",
+    "degraded_resolves",
+    "unassigned_units",
 )
 # Timing / latency-histogram fields: carried through and reported per row
 # so a reviewer can eyeball drift, but NEVER gated -- wall clock and
